@@ -1,0 +1,17 @@
+"""Ablation A3 — §4.3 merging of B_d and B_0 on/off (Heat-2D)."""
+
+from conftest import render_result
+
+from repro.bench.experiments import ablation_merge
+
+
+def test_merge_ablation(benchmark, capsys):
+    fr = benchmark.pedantic(
+        ablation_merge, kwargs={"cores": (1, 24)}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_result(fr))
+    m, u = fr.at("tess", 24), fr.at("tess-unmerged", 24)
+    assert m.barriers < u.barriers
+    assert m.time_s <= u.time_s * 1.02

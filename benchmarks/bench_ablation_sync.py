@@ -1,0 +1,32 @@
+"""Ablation A2 — synchronisation counts per scheme and dimension.
+
+The paper's §2.2 argues sync structure is the tessellation's edge:
+d+1 barriers per phase (d with merging) versus the 2^d-flavoured
+recursion of nested split-tiling / Pochoir.  This bench measures
+barriers per time step from the real schedules.
+"""
+
+from repro.bench.experiments import ablation_sync_counts
+from repro.bench.problems import PROBLEMS
+from repro.core import make_lattice
+from repro.core.schedules import tess_schedule
+from repro.stencils import get_stencil
+
+
+def test_sync_counts(benchmark, capsys):
+    out = benchmark.pedantic(ablation_sync_counts, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[A2] barriers per time step:")
+        print(out)
+    # structural law: (d+1)/b unmerged, d/b merged (+1 prologue)
+    for kernel, shape in [("heat1d", (64,)), ("heat2d", (48, 48)),
+                          ("heat3d", (24, 24, 24))]:
+        spec = get_stencil(kernel)
+        d = spec.ndim
+        b = 4
+        steps = 4 * b
+        lat = make_lattice(spec, shape, b)
+        plain = tess_schedule(spec, shape, lat, steps)
+        merged = tess_schedule(spec, shape, lat, steps, merged=True)
+        assert plain.num_groups == (d + 1) * (steps // b)
+        assert merged.num_groups == d * (steps // b) + 1

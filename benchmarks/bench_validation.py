@@ -1,0 +1,16 @@
+"""Validation matrix — every scheme against every paper kernel.
+
+The safety net behind the whole evaluation: 9 schedule generators x 7
+kernels, each verified against the naive sweep (bit-level for the
+integer Game of Life).
+"""
+
+from repro.bench.experiments import validation_matrix
+
+
+def test_validation_matrix(benchmark, capsys):
+    out = benchmark.pedantic(validation_matrix, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[validation] scheme x kernel:")
+        print(out)
+    assert "FAIL" not in out

@@ -1,0 +1,66 @@
+"""Real wall-clock benchmarks of the NumPy executors.
+
+Unlike the figure benches (simulated machine), these time the actual
+region-application executors on this host — the honest single-core
+substrate numbers.  Relative costs between schemes reflect NumPy
+dispatch overhead per region, not compiled-kernel behaviour; see
+EXPERIMENTS.md.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Grid, get_stencil, make_lattice
+from repro.baselines import diamond_schedule, naive_schedule
+from repro.core.paper2d import run_paper2d
+from repro.core.schedules import tess_schedule
+from repro.runtime.schedule import execute_schedule
+from repro.stencils import reference_sweep
+
+SHAPE = (360, 360)
+STEPS = 24
+B = 6
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return get_stencil("heat2d")
+
+
+@pytest.fixture(scope="module")
+def expected(spec):
+    g = Grid(spec, SHAPE, seed=0)
+    return reference_sweep(spec, g, STEPS).copy()
+
+
+def _run(spec, sched):
+    g = Grid(spec, SHAPE, seed=0)
+    return execute_schedule(spec, g, sched)
+
+
+def test_naive_sweep(benchmark, spec, expected):
+    sched = naive_schedule(spec, SHAPE, STEPS)
+    out = benchmark(_run, spec, sched)
+    assert np.allclose(out, expected, rtol=1e-11)
+
+
+def test_tessellation_merged(benchmark, spec, expected):
+    lat = make_lattice(spec, SHAPE, B, core_widths=(6, 12))
+    sched = tess_schedule(spec, SHAPE, lat, STEPS, merged=True)
+    out = benchmark(_run, spec, sched)
+    assert np.allclose(out, expected, rtol=1e-11)
+
+
+def test_diamond(benchmark, spec, expected):
+    sched = diamond_schedule(spec, SHAPE, B, STEPS)
+    out = benchmark(_run, spec, sched)
+    assert np.allclose(out, expected, rtol=1e-11)
+
+
+def test_paper2d_artifact_code(benchmark, spec, expected):
+    def run():
+        g = Grid(spec, SHAPE, seed=0)
+        return run_paper2d(spec, g, Bx=24, By=24, bt=6, steps=STEPS)
+
+    out = benchmark(run)
+    assert np.allclose(out, expected, rtol=1e-11)

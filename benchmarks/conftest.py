@@ -1,0 +1,34 @@
+"""Shared fixtures for the figure/table benchmark suite.
+
+Each bench regenerates one paper table/figure through the simulated
+machine (see DESIGN.md §5).  The figure benches run a reduced core
+sweep by default to keep the suite's runtime reasonable; run
+``python -m repro.bench`` for the full 1–24-core curves.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+import pytest
+
+#: reduced core sweep for the benchmark suite
+BENCH_CORES = (1, 12, 24)
+
+
+@pytest.fixture(scope="session")
+def bench_cores():
+    return BENCH_CORES
+
+
+def render_result(result) -> str:
+    from repro.bench.experiments import FigureResult
+
+    if isinstance(result, FigureResult):
+        return result.render()
+    if isinstance(result, list):
+        return "\n\n".join(render_result(r) for r in result)
+    return str(result)

@@ -1,0 +1,13 @@
+"""Ensure the in-tree package is importable when running pytest.
+
+Equivalent to ``pip install -e .``; kept so the test-suite runs in
+environments where editable installs are unavailable (e.g. offline
+machines without the ``wheel`` package).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Game of Life through the tessellation — including a periodic torus.
+
+The paper runs Conway's Game of Life as one of its box-stencil
+benchmarks (Fig. 9).  This example time-tiles a glider on a periodic
+torus with the pointwise tessellation executor (stretched lattices
+handle the non-multiple grid size, §3.6/Fig. 6) and shows the glider
+arriving at exactly the position the plain step-by-step rule predicts.
+
+Run:  python examples/game_of_life.py
+"""
+
+import numpy as np
+
+from repro import Grid, get_stencil, run_pointwise
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.stencils import reference_sweep
+
+
+def render(board: np.ndarray) -> str:
+    return "\n".join(
+        "".join("#" if v else "." for v in row) for row in board
+    )
+
+
+def main() -> None:
+    spec = get_stencil("life", boundary="periodic")
+    shape = (18, 23)  # deliberately not a multiple of any block size
+    steps = 24
+    b = 3
+
+    grid = Grid(spec, shape, init="zeros")
+    board = grid.interior(0)
+    # a glider heading south-east
+    board[1, 2] = board[2, 3] = board[3, 1] = board[3, 2] = board[3, 3] = 1
+    start = board.copy()
+
+    lattice = TessLattice((
+        AxisProfile.stretched(shape[0], b, periodic=True),
+        AxisProfile.stretched(shape[1], b, periodic=True),
+    ))
+    out = run_pointwise(spec, grid, lattice, steps)
+
+    ref_grid = Grid(spec, shape, init="zeros")
+    ref_grid.interior(0)[...] = start
+    ref = reference_sweep(spec, ref_grid, steps)
+
+    assert np.array_equal(out, ref), "tessellated Life diverged!"
+    # a glider moves one cell diagonally every 4 steps
+    expect = np.roll(start, (steps // 4, steps // 4), axis=(0, 1))
+    assert np.array_equal(out, expect), "glider did not translate!"
+
+    print(f"t = 0:\n{render(start)}\n")
+    print(f"t = {steps} (tessellated, periodic torus):\n{render(out)}\n")
+    print(
+        f"glider translated by ({steps // 4}, {steps // 4}) cells — "
+        f"bit-identical to the naive rule, computed in time tiles of "
+        f"depth {b} with zero redundant updates."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""The §3.6 extensions: high-order stencils and periodic boundaries.
+
+* High order — the 1d5p kernel (order-2 star) is tessellated through
+  the supernode reduction of Fig. 5: distances are measured in
+  slope-sized units, so the same `B_i` machinery applies unchanged.
+* Periodic boundaries — a grid whose size is *not* a multiple of the
+  block period gets one stretched block per axis (Fig. 6): the points
+  in the stretched gap take all `b` updates in one intermediate stage.
+
+Run:  python examples/high_order_and_periodic.py
+"""
+
+import numpy as np
+
+from repro import Grid, get_stencil, make_lattice, run_blocked, run_pointwise
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.stencils import reference_sweep
+
+
+def high_order() -> None:
+    spec = get_stencil("1d5p")
+    print(spec.describe())
+    shape = (20_000,)
+    steps = 48
+    b = 12
+    grid = Grid(spec, shape, seed=1)
+    ref = reference_sweep(spec, grid.copy(), steps)
+    lattice = make_lattice(spec, shape, b)  # slope-2 supernodes built in
+    out = run_blocked(spec, grid.copy(), lattice, steps)
+    assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+    widths = {hi - lo for lo, hi in lattice.profiles[0].cores}
+    print(
+        f"  order-2 dependence handled by sigma-sized cores {widths}; "
+        f"{steps} steps verified on N={shape[0]}\n"
+    )
+
+
+def periodic_stretched() -> None:
+    spec = get_stencil("heat2d", boundary="periodic")
+    print(spec.describe())
+    shape = (157, 211)  # primes: no block period divides these
+    steps = 20
+    b = 4
+    grid = Grid(spec, shape, seed=2)
+    ref = reference_sweep(spec, grid.copy(), steps)
+    lattice = TessLattice((
+        AxisProfile.stretched(shape[0], b, periodic=True),
+        AxisProfile.stretched(shape[1], b, periodic=True),
+    ))
+    for prof in lattice.profiles:
+        prof.validate()
+    out = run_pointwise(spec, grid.copy(), lattice, steps)
+    assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+    gaps = [
+        max(hi - lo for lo, hi in prof.plateaus())
+        for prof in lattice.profiles
+    ]
+    print(
+        f"  non-multiple grid {shape} tessellated with one stretched "
+        f"block per axis (widest plateaus: {gaps}); "
+        f"{steps} periodic steps verified\n"
+    )
+
+
+def main() -> None:
+    high_order()
+    periodic_stretched()
+    print("both §3.6 extensions verified against the naive reference.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — a full Python reproduction of "Tessellating Stencils" (SC'17).
+
+Public API surface:
+
+* stencil kernels and grids — :mod:`repro.stencils`;
+* the tessellation scheme (the paper's contribution) — :mod:`repro.core`;
+* competing tiling schemes (Pluto-style diamond, Pochoir-style
+  cache-oblivious, time skewing, overlapped, naive) —
+  :mod:`repro.baselines`;
+* task graphs and the threaded runtime — :mod:`repro.runtime`;
+* the simulated 2x12-core machine used to regenerate the paper's
+  figures — :mod:`repro.machine`;
+* analytic performance models — :mod:`repro.perf`;
+* tile-size auto-tuning — :mod:`repro.autotune`;
+* the per-figure experiment harness — :mod:`repro.bench`.
+"""
+
+from repro.stencils import (
+    Grid,
+    StencilSpec,
+    get_stencil,
+    make_grid,
+    reference_sweep,
+)
+from repro.core import (
+    AxisProfile,
+    TessLattice,
+    make_lattice,
+    run_blocked,
+    run_merged,
+    run_pointwise,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Grid",
+    "StencilSpec",
+    "get_stencil",
+    "make_grid",
+    "reference_sweep",
+    "AxisProfile",
+    "TessLattice",
+    "make_lattice",
+    "run_blocked",
+    "run_merged",
+    "run_pointwise",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Tile-size auto-tuning (the paper's stated ongoing work, §5.1/§6).
+
+The tessellation has more free parameters than competing schemes (per
+dimension: core width, period, phase; plus the time depth ``b``); the
+paper notes performance "is very sensitive to the tile sizes" and
+defers systematic tuning.  This package provides that missing piece
+against the simulated machine:
+
+* :func:`~repro.autotune.search.grid_search` — exhaustive sweep over a
+  candidate set;
+* :func:`~repro.autotune.search.tune_tessellation` — guided search
+  (coordinate descent over ``b`` and per-axis core widths) returning
+  the best lattice found.
+"""
+
+from repro.autotune.search import (
+    TuneResult,
+    candidate_depths,
+    grid_search,
+    tune_tessellation,
+)
+
+__all__ = [
+    "TuneResult",
+    "candidate_depths",
+    "grid_search",
+    "tune_tessellation",
+]

@@ -1,0 +1,138 @@
+"""Tile-size search against the simulated machine.
+
+The objective is simulated execution time of the tessellation schedule
+on a given machine/core count; the search never executes the stencil,
+so it is cheap enough to sweep dozens of configurations (schedule
+generation cost is proportional to the task count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.executor import make_lattice
+from repro.core.schedules import tess_schedule
+from repro.machine.model import SimResult, simulate
+from repro.machine.spec import MachineSpec
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class TuneResult:
+    """One evaluated configuration."""
+
+    b: int
+    core_widths: Tuple[int, ...]
+    result: SimResult
+
+    @property
+    def time_s(self) -> float:
+        return self.result.time_s
+
+    def describe(self) -> str:
+        return (
+            f"b={self.b} core_widths={self.core_widths}: "
+            f"{self.result.gstencils:.3f} GStencil/s "
+            f"({self.result.time_s * 1e3:.2f} ms simulated)"
+        )
+
+
+def candidate_depths(shape: Sequence[int], steps: int,
+                     slopes: Sequence[int]) -> List[int]:
+    """Sensible time-tile depths: powers of two up to the geometry cap."""
+    cap = min(
+        max(1, (min(int(n) for n in shape)) // (4 * max(slopes))),
+        max(1, steps),
+    )
+    out = []
+    b = 2
+    while b <= cap:
+        out.append(b)
+        b *= 2
+    return out or [1]
+
+
+def _evaluate(spec: StencilSpec, shape: Sequence[int], steps: int,
+              machine: MachineSpec, cores: int, b: int,
+              core_widths: Sequence[int], merged: bool) -> Optional[TuneResult]:
+    try:
+        lattice = make_lattice(spec, shape, b, core_widths=core_widths)
+        sched = tess_schedule(spec, tuple(int(n) for n in shape), lattice,
+                              steps, merged=merged)
+    except ValueError:
+        return None
+    if not sched.tasks:
+        return None
+    res = simulate(spec, sched, machine, cores)
+    return TuneResult(b=b, core_widths=tuple(core_widths), result=res)
+
+
+def grid_search(
+    spec: StencilSpec,
+    shape: Sequence[int],
+    steps: int,
+    machine: MachineSpec,
+    cores: int,
+    depths: Optional[Iterable[int]] = None,
+    width_factors: Iterable[int] = (1, 2, 4),
+    merged: bool = True,
+) -> List[TuneResult]:
+    """Sweep ``b`` × isotropic core-width factors; sorted best-first.
+
+    ``width_factors`` multiply the per-axis slope to form core widths
+    (the paper sets "other parameters to the half or double of the
+    blocking size" — the same neighbourhood this sweep covers).
+    """
+    if depths is None:
+        depths = candidate_depths(shape, steps, spec.slopes)
+    results: List[TuneResult] = []
+    for b in depths:
+        for f in width_factors:
+            widths = [max(sg, f * sg * b // 2) for sg in spec.slopes]
+            r = _evaluate(spec, shape, steps, machine, cores, b, widths,
+                          merged)
+            if r is not None:
+                results.append(r)
+    results.sort(key=lambda r: r.time_s)
+    return results
+
+
+def tune_tessellation(
+    spec: StencilSpec,
+    shape: Sequence[int],
+    steps: int,
+    machine: MachineSpec,
+    cores: int,
+    merged: bool = True,
+    rounds: int = 2,
+) -> TuneResult:
+    """Coordinate descent: best ``b`` first, then per-axis widths.
+
+    Starts from the best isotropic grid-search point and repeatedly
+    tries halving/doubling each axis width independently (anisotropic
+    coarsening is the point of §4.2 — e.g. the paper's 128×256×64
+    Heat-2D blocking).
+    """
+    coarse = grid_search(spec, shape, steps, machine, cores, merged=merged)
+    if not coarse:
+        raise ValueError("no feasible tessellation configuration found")
+    best = coarse[0]
+    d = spec.ndim
+    for _ in range(rounds):
+        improved = False
+        for axis in range(d):
+            for factor in (0.5, 2.0):
+                widths = list(best.core_widths)
+                w = max(spec.slopes[axis], int(round(widths[axis] * factor)))
+                if w == widths[axis]:
+                    continue
+                widths[axis] = w
+                cand = _evaluate(spec, shape, steps, machine, cores,
+                                 best.b, widths, merged)
+                if cand is not None and cand.time_s < best.time_s:
+                    best = cand
+                    improved = True
+        if not improved:
+            break
+    return best

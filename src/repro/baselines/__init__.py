@@ -1,0 +1,45 @@
+"""Baseline tiling schemes the paper compares against (§2, §5).
+
+Every baseline is a *schedule generator* producing a
+:class:`~repro.runtime.schedule.RegionSchedule`, so all schemes —
+including the tessellation itself — are executed, validated and
+simulated through identical machinery:
+
+* :mod:`~repro.baselines.naive` — the (d+1)-loop naive sweep (one
+  barrier per time step), optionally chunked for parallelism;
+* :mod:`~repro.baselines.spatial` — per-step rectangular space tiling;
+* :mod:`~repro.baselines.overlapped` — hyper-rectangular time tiling
+  with redundant halo computation (ghost-zone / trapezoid overlap,
+  §2.1 "Overlapped tiling");
+* :mod:`~repro.baselines.diamond` — Pluto-style diamond tiling with
+  concurrent start (Bandishti et al.), expressed as a one-axis-uniform
+  tessellation lattice (the paper notes both produce the same 1D
+  diamond code);
+* :mod:`~repro.baselines.cache_oblivious` — Pochoir-style
+  Frigo–Strumpen trapezoidal decomposition with hyperspace cuts;
+* :mod:`~repro.baselines.mwd` — Girih-style multicore wavefront
+  diamond (diamond along one axis, intra-tile parallelism, LLC-sized
+  working sets).
+"""
+
+from repro.baselines.naive import naive_schedule
+from repro.baselines.spatial import spatial_schedule
+from repro.baselines.overlapped import overlapped_schedule, execute_overlapped
+from repro.baselines.diamond import diamond_schedule, diamond_lattice
+from repro.baselines.cache_oblivious import trapezoid_schedule
+from repro.baselines.mwd import mwd_schedule
+from repro.baselines.hexagonal import hexagonal_schedule, hexagonal_lattice
+from repro.baselines.skewed import skewed_schedule
+
+__all__ = [
+    "naive_schedule",
+    "spatial_schedule",
+    "overlapped_schedule",
+    "diamond_schedule",
+    "diamond_lattice",
+    "trapezoid_schedule",
+    "mwd_schedule",
+    "hexagonal_schedule",
+    "hexagonal_lattice",
+    "skewed_schedule",
+]

@@ -1,0 +1,92 @@
+"""Pluto-style diamond tiling (Bandishti et al. [3]) — concurrent start.
+
+For a 1D stencil, diamond tiling alternates triangular and inverted-
+triangular tiles of height ``b`` — the paper's §3.1 shows this is
+exactly the tessellation's two-stage 1D scheme ("our scheme and PluTo
+produce the same diamond tiling codes").  This module uses the same
+identity constructively: the diamond baseline is a tessellation
+lattice that is *uniform* along the cut axes and *uncut* (constant
+distance) along the rest.  With one cut axis this is the classic
+diamond-slab wavefront; with two cut axes and the unit-stride axis
+left uncut it matches the configuration of Pluto's evaluated 3D codes
+("codes of Pluto, Pochoir and ours leave the unit-stride dimension
+uncut", §5.2).
+
+What this baseline deliberately does *not* get from the tessellation:
+
+* no per-dimension coarsening (§4.2) — Pluto's tile sizes are fixed,
+  isotropic, chosen at compile time (Table 4);
+* no ``B_d``+``B_0`` merging (§4.3);
+* cut-axis wavefront width ``N/(2bσ)`` per axis — when the product is
+  small or indivisible by the core count, the load imbalance the paper
+  reports for Pluto at high core counts appears naturally.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.core.schedules import tess_schedule
+from repro.runtime.schedule import RegionSchedule
+from repro.stencils.spec import StencilSpec
+
+
+def default_cut_dims(ndim: int) -> Sequence[int]:
+    """Pluto-like default: cut every axis except the unit-stride one.
+
+    (For 1D the single axis is cut.)
+    """
+    return tuple(range(max(1, ndim - 1)))
+
+
+def diamond_lattice(
+    spec: StencilSpec,
+    shape: Sequence[int],
+    b: int,
+    cut_dims: Optional[Sequence[int]] = None,
+) -> TessLattice:
+    """Lattice realising diamond tiling along ``cut_dims``."""
+    shape = tuple(int(n) for n in shape)
+    if len(shape) != spec.ndim:
+        raise ValueError(f"shape rank {len(shape)} != ndim {spec.ndim}")
+    if cut_dims is None:
+        cut_dims = default_cut_dims(spec.ndim)
+    cut = set(int(j) for j in cut_dims)
+    if not cut or any(not 0 <= j < spec.ndim for j in cut):
+        raise ValueError(f"invalid cut_dims {sorted(cut)} for d={spec.ndim}")
+    profiles = []
+    for j, (n, sg) in enumerate(zip(shape, spec.slopes)):
+        if j in cut:
+            profiles.append(
+                AxisProfile.uniform(n, b, sigma=sg, periodic=spec.is_periodic)
+            )
+        else:
+            profiles.append(
+                AxisProfile.uncut(n, b, sigma=sg, periodic=spec.is_periodic)
+            )
+    return TessLattice(tuple(profiles))
+
+
+def diamond_schedule(
+    spec: StencilSpec,
+    shape: Sequence[int],
+    b: int,
+    steps: int,
+    cut_dims: Optional[Sequence[int]] = None,
+    cut_dim: Optional[int] = None,
+) -> RegionSchedule:
+    """Diamond tiling of ``steps`` steps: tiles of half-extent ``b·σ``.
+
+    Each phase has ``(#cut axes) + 1`` barrier groups (the diamond
+    families); all tiles of a group are independent (concurrent start).
+    ``cut_dim`` is a convenience alias for a single cut axis.
+    """
+    if cut_dim is not None:
+        if cut_dims is not None:
+            raise ValueError("pass either cut_dim or cut_dims, not both")
+        cut_dims = (cut_dim,)
+    lattice = diamond_lattice(spec, shape, b, cut_dims=cut_dims)
+    sched = tess_schedule(spec, tuple(int(n) for n in shape), lattice, steps)
+    sched.scheme = "diamond"
+    return sched

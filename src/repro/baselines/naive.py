@@ -1,0 +1,51 @@
+"""Naive sweep baseline: one full-grid update per barrier group.
+
+The (d+1)-loop implementation from the paper's introduction: the outer
+loop walks time, the inner loops the whole grid.  For parallel
+execution each step is chunked into slabs along the first axis; one
+barrier per time step, no temporal reuse — the bandwidth-bound
+baseline every tiling scheme is measured against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.runtime.schedule import RegionAction, RegionSchedule
+from repro.stencils.spec import StencilSpec
+
+
+def naive_schedule(
+    spec: StencilSpec,
+    shape: Sequence[int],
+    steps: int,
+    chunks: int = 1,
+) -> RegionSchedule:
+    """``steps`` naive sweeps, each split into ``chunks`` slabs.
+
+    Slabs split the first axis as evenly as possible; a slab is one
+    task, each time step is one barrier group.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    if chunks < 1:
+        raise ValueError(f"chunks must be >= 1, got {chunks}")
+    shape = tuple(int(n) for n in shape)
+    if len(shape) != spec.ndim:
+        raise ValueError(f"shape rank {len(shape)} != ndim {spec.ndim}")
+    n0 = shape[0]
+    chunks = min(chunks, n0)
+    bounds = [round(k * n0 / chunks) for k in range(chunks + 1)]
+    rest = tuple((0, n) for n in shape[1:])
+    sched = RegionSchedule(scheme="naive", shape=shape, steps=steps)
+    for t in range(steps):
+        for k in range(chunks):
+            lo, hi = bounds[k], bounds[k + 1]
+            if hi <= lo:
+                continue
+            sched.add(
+                t,
+                [RegionAction(t=t, region=((lo, hi),) + rest)],
+                label=f"t{t}:slab{k}",
+            )
+    return sched

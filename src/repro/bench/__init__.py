@@ -1,0 +1,48 @@
+"""Benchmark harness: one experiment per paper table/figure.
+
+* :mod:`~repro.bench.problems` — the benchmark configurations of
+  Table 4, scaled to this substrate (scaling factors documented);
+* :mod:`~repro.bench.experiments` — experiment functions regenerating
+  every figure/table series (Figures 8–12, Tables 1–4, ablations);
+* :mod:`~repro.bench.report` — ASCII rendering of tables and scaling
+  series.
+
+Run ``python -m repro.bench`` to regenerate every experiment and print
+the paper-versus-measured report (the source of EXPERIMENTS.md).
+"""
+
+from repro.bench.problems import PROBLEMS, ProblemConfig
+from repro.bench.experiments import (
+    FigureResult,
+    fig8_1d,
+    fig9_life,
+    fig10_2d,
+    fig11_3d,
+    fig12_memory,
+    table1_properties,
+    table4_problems,
+    ablation_sync_counts,
+    ablation_merge,
+    ablation_tile_sensitivity,
+    ALL_EXPERIMENTS,
+)
+from repro.bench.report import format_table, format_scaling
+
+__all__ = [
+    "PROBLEMS",
+    "ProblemConfig",
+    "FigureResult",
+    "fig8_1d",
+    "fig9_life",
+    "fig10_2d",
+    "fig11_3d",
+    "fig12_memory",
+    "table1_properties",
+    "table4_problems",
+    "ablation_sync_counts",
+    "ablation_merge",
+    "ablation_tile_sensitivity",
+    "ALL_EXPERIMENTS",
+    "format_table",
+    "format_scaling",
+]

@@ -1,0 +1,42 @@
+"""Regenerate every experiment: ``python -m repro.bench [exp ...]``.
+
+With no arguments runs the full registry (Tables 1/4, Figures 8–12 and
+the ablations) and prints the paper-versus-measured report — the same
+content recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS, FigureResult
+
+
+def _render(result) -> str:
+    if isinstance(result, FigureResult):
+        return result.render()
+    if isinstance(result, list):
+        return "\n\n".join(_render(r) for r in result)
+    return str(result)
+
+
+def main(argv=None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    names = argv or list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; "
+              f"available: {sorted(ALL_EXPERIMENTS)}")
+        return 2
+    for name in names:
+        t0 = time.perf_counter()
+        result = ALL_EXPERIMENTS[name]()
+        dt = time.perf_counter() - t0
+        print(f"\n{'#' * 70}\n# {name}  ({dt:.1f}s)\n{'#' * 70}")
+        print(_render(result))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

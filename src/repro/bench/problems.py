@@ -1,0 +1,176 @@
+"""Benchmark problem configurations (paper Table 4, scaled).
+
+The paper's problem sizes target hours of C/OpenMP execution on 24
+cores; this substrate regenerates the figures through the simulated
+machine.  Problems are scaled down with a *consistent* scaling rule
+that preserves every ratio the figures depend on:
+
+* grids shrink by a linear factor per axis, **tile sizes shrink with
+  them** (so tiles-per-core and wavefront widths are preserved), and
+* the machine's caches shrink by the same volume factor
+  (``cache_scale``) via :meth:`repro.machine.spec.MachineSpec.scaled_caches`
+  — so grid/LLC and tile/cache ratios match the paper's (a 128³ scaled
+  grid must not suddenly fit the unscaled 60 MB of combined L3).
+
+Compute and bandwidth rates stay unscaled; they set absolute time, not
+the shapes.  Per-benchmark scale notes record the factors.
+
+Blocking parameters map from Table 4 as follows: a Pluto diamond tile
+of extent ``E`` corresponds to depth ``b = E/2``; the paper's 2D/3D
+tessellation blockings (e.g. Heat-2D 128×256×64 = ``B_x × B_y × bt``)
+have ``b_x = B_x − 2·bt = 0`` — i.e. a *uniform* x-axis — and a coarse
+y-axis of core width ``B_y − 2·bt``; 3D blockings are ``B_x × B_y ×
+bt`` with the unit-stride z axis left uncut (§5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProblemConfig:
+    """One benchmark row of Table 4, scaled for this substrate."""
+
+    name: str
+    kernel: str
+    paper_size: str          # as printed in Table 4
+    shape: Tuple[int, ...]   # scaled spatial size
+    steps: int               # scaled time steps
+    cache_scale: float       # machine cache volume factor
+    scale_note: str
+    tess_b: int              # time-tile depth for the tessellation
+    tess_core_widths: Tuple[int, ...]
+    tess_uncut_dims: Tuple[int, ...]
+    pluto_b: int             # diamond half-extent (Pluto tile / 2)
+    pluto_cut_dims: Tuple[int, ...]
+    pochoir_base_dt: int
+    pochoir_base_widths: Tuple[int, ...]
+    mwd_b: Optional[int] = None  # Girih depth (3D star only in the paper)
+    mwd_chunks: int = 12
+
+
+PROBLEMS: Dict[str, ProblemConfig] = {
+    "heat1d": ProblemConfig(
+        name="Heat-1D",
+        kernel="heat1d",
+        paper_size="12000000 x 4000",
+        shape=(200_000,),
+        steps=256,
+        cache_scale=1 / 60,
+        scale_note="N/60, T/15.6, caches/60; block 2000 -> b=64 uniform "
+                   "(paper: same diamond code/size for ours and Pluto)",
+        tess_b=64,
+        tess_core_widths=(1,),
+        tess_uncut_dims=(),
+        pluto_b=64,
+        pluto_cut_dims=(0,),
+        pochoir_base_dt=5,
+        pochoir_base_widths=(500,),
+    ),
+    "1d5p": ProblemConfig(
+        name="1d5p",
+        kernel="1d5p",
+        paper_size="12000000 x 4000",
+        shape=(200_000,),
+        steps=256,
+        cache_scale=1 / 60,
+        scale_note="as Heat-1D; order-2 slope halves the usable depth",
+        tess_b=32,
+        tess_core_widths=(2,),
+        tess_uncut_dims=(),
+        pluto_b=32,
+        pluto_cut_dims=(0,),
+        pochoir_base_dt=5,
+        pochoir_base_widths=(500,),
+    ),
+    "heat2d": ProblemConfig(
+        name="Heat-2D",
+        kernel="heat2d",
+        paper_size="6000^2 x 2000",
+        shape=(2400, 2400),
+        steps=96,
+        cache_scale=1.0,
+        scale_note="N 2400^2 (> combined LLC), T/20.8, tiles and caches "
+                   "UNSCALED (preserves surface/volume and cache ratios); "
+                   "blocking 128x256x64 -> b=32, x uniform, y core 128",
+        tess_b=32,
+        tess_core_widths=(1, 128),
+        tess_uncut_dims=(),
+        pluto_b=32,
+        pluto_cut_dims=(0, 1),
+        pochoir_base_dt=5,
+        pochoir_base_widths=(100, 100),
+    ),
+    "2d9p": ProblemConfig(
+        name="2d9p",
+        kernel="2d9p",
+        paper_size="6000^2 x 2000",
+        shape=(2400, 2400),
+        steps=96,
+        cache_scale=1.0,
+        scale_note="as Heat-2D",
+        tess_b=32,
+        tess_core_widths=(1, 128),
+        tess_uncut_dims=(),
+        pluto_b=32,
+        pluto_cut_dims=(0, 1),
+        pochoir_base_dt=5,
+        pochoir_base_widths=(100, 100),
+    ),
+    "life": ProblemConfig(
+        name="Game of Life",
+        kernel="life",
+        paper_size="6000^2 x 2000",
+        shape=(2400, 2400),
+        steps=96,
+        cache_scale=1.0,
+        scale_note="as Heat-2D; paper Pluto blocking 128^3 -> b=64",
+        tess_b=32,
+        tess_core_widths=(1, 128),
+        tess_uncut_dims=(),
+        pluto_b=64,
+        pluto_cut_dims=(0, 1),
+        pochoir_base_dt=5,
+        pochoir_base_widths=(100, 100),
+    ),
+    "heat3d": ProblemConfig(
+        name="Heat-3D",
+        kernel="heat3d",
+        paper_size="256^3 x 1000",
+        shape=(256, 256, 256),
+        steps=48,
+        cache_scale=1.0,
+        scale_note="full 256^3 grid, T/20.8, tiles and caches UNSCALED; "
+                   "blocking 24x24x12 = B_x x B_y x B_z with bt=6: cores "
+                   "(12,12,1); Pluto 12^2 tiles -> b=6, z uncut",
+        tess_b=6,
+        tess_core_widths=(12, 12, 1),
+        tess_uncut_dims=(),
+        pluto_b=6,
+        pluto_cut_dims=(0, 1),
+        pochoir_base_dt=4,
+        pochoir_base_widths=(16, 16, 128),
+        mwd_b=12,
+    ),
+    "3d27p": ProblemConfig(
+        name="3d27p",
+        kernel="3d27p",
+        paper_size="256^3 x 1000",
+        shape=(256, 256, 256),
+        steps=48,
+        cache_scale=1.0,
+        scale_note="as Heat-3D",
+        tess_b=6,
+        tess_core_widths=(12, 12, 1),
+        tess_uncut_dims=(),
+        pluto_b=6,
+        pluto_cut_dims=(0, 1),
+        pochoir_base_dt=4,
+        pochoir_base_widths=(16, 16, 128),
+    ),
+}
+
+#: Core counts swept in the scaling figures (paper: 1..24).
+CORE_COUNTS = (1, 2, 4, 8, 12, 16, 20, 24)

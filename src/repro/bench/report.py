@@ -1,0 +1,72 @@
+"""ASCII report rendering for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.machine.model import SimResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Plain fixed-width table with a header rule."""
+    cells = [[str(h) for h in headers]] + [
+        [_fmt(c) for c in row] for row in rows
+    ]
+    widths = [
+        max(len(r[j]) for r in cells) for j in range(len(headers))
+    ]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append(
+            "  ".join(c.rjust(w) for c, w in zip(row, widths))
+        )
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(v) -> str:
+    if isinstance(v, float):
+        if v == 0:
+            return "0"
+        if abs(v) >= 1000 or abs(v) < 0.01:
+            return f"{v:.3g}"
+        return f"{v:.3f}"
+    return str(v)
+
+
+_METRICS = {
+    "gstencils": ("GStencil/s", lambda r: r.gstencils),
+    "gflops": ("GFLOP/s", lambda r: r.gflops),
+    "speedup": ("speedup", None),  # handled specially (vs 1-core self)
+    "traffic_gb": ("traffic GB", lambda r: r.traffic_gb),
+    "bandwidth_gbs": ("bandwidth GB/s", lambda r: r.bandwidth_gbs),
+    "time_ms": ("time ms", lambda r: r.time_s * 1e3),
+}
+
+
+def format_scaling(series: Dict[str, List[SimResult]],
+                   metric: str = "gstencils") -> str:
+    """Core-scaling table: one row per core count, one column per scheme."""
+    if metric not in _METRICS:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(_METRICS)}"
+        )
+    label, getter = _METRICS[metric]
+    schemes = list(series)
+    if not schemes:
+        return "(no series)"
+    cores = [r.cores for r in series[schemes[0]]]
+    headers = [f"cores \\ {label}"] + schemes
+    rows = []
+    for i, p in enumerate(cores):
+        row = [p]
+        for s in schemes:
+            r = series[s][i]
+            if metric == "speedup":
+                base = series[s][0]
+                row.append(base.time_s / r.time_s if r.time_s else 0.0)
+            else:
+                row.append(getter(r))
+        rows.append(row)
+    return format_table(headers, rows)

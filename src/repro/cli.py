@@ -1,0 +1,236 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+* ``run``    — execute a kernel with a chosen tiling scheme, verify
+  against the naive sweep and report wall-clock + schedule stats;
+* ``show``   — render the space-time diagram of a 1D schedule
+  (the paper's Figure 1, in ASCII);
+* ``tune``   — auto-tune tessellation tile sizes on the simulated
+  machine;
+* ``dist``   — §4.1: verified multi-rank execution plus an α–β
+  cluster strong-scaling estimate;
+* ``table``  — print the paper's Table 1 for a given dimension;
+* ``bench``  — forward to :mod:`repro.bench` (regenerate figures).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Tessellating Stencils (SC'17) reproduction toolkit",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a kernel with a tiling scheme")
+    run.add_argument("kernel", help="heat1d|1d5p|heat2d|2d9p|life|heat3d|3d27p")
+    run.add_argument("--shape", type=int, nargs="+", default=None,
+                     help="grid extents (default: kernel-appropriate)")
+    run.add_argument("--steps", type=int, default=32)
+    run.add_argument("--scheme", default="tess",
+                     choices=["naive", "tess", "tess-unmerged", "diamond",
+                              "pochoir", "mwd", "overlapped"])
+    run.add_argument("-b", "--depth", type=int, default=8,
+                     help="time-tile depth b")
+    run.add_argument("--threads", type=int, default=1)
+    run.add_argument("--seed", type=int, default=0)
+
+    show = sub.add_parser("show", help="space-time diagram of a 1D schedule")
+    show.add_argument("--scheme", default="tess",
+                      choices=["naive", "tess", "tess-unmerged", "diamond",
+                               "pochoir", "mwd"])
+    show.add_argument("-n", type=int, default=48)
+    show.add_argument("--steps", type=int, default=12)
+    show.add_argument("-b", "--depth", type=int, default=4)
+    show.add_argument("--width", type=int, default=96)
+
+    tune = sub.add_parser("tune", help="auto-tune tessellation tile sizes")
+    tune.add_argument("kernel")
+    tune.add_argument("--shape", type=int, nargs="+", default=None)
+    tune.add_argument("--steps", type=int, default=32)
+    tune.add_argument("--cores", type=int, default=24)
+
+    dist = sub.add_parser("dist", help="distributed run + cluster estimate")
+    dist.add_argument("kernel")
+    dist.add_argument("--shape", type=int, nargs="+", default=None)
+    dist.add_argument("--steps", type=int, default=16)
+    dist.add_argument("-b", "--depth", type=int, default=4)
+    dist.add_argument("--ranks", type=int, default=4)
+    dist.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8])
+
+    table = sub.add_parser("table", help="print Table 1 properties")
+    table.add_argument("--max-dim", type=int, default=6)
+    table.add_argument("-b", "--depth", type=int, default=4)
+
+    bench = sub.add_parser("bench", help="regenerate paper experiments")
+    bench.add_argument("names", nargs="*", help="experiment ids (default all)")
+    return p
+
+
+def _default_shape(spec) -> tuple:
+    return {1: (20_000,), 2: (256, 256), 3: (48, 48, 48)}[spec.ndim]
+
+
+def _build_schedule(spec, shape, steps, scheme, b):
+    from repro.baselines import (
+        diamond_schedule, mwd_schedule, naive_schedule, overlapped_schedule,
+        trapezoid_schedule,
+    )
+    from repro.core import make_lattice
+    from repro.core.schedules import tess_schedule
+    from repro.runtime import levelize
+
+    if scheme == "naive":
+        return naive_schedule(spec, shape, steps, chunks=8)
+    if scheme in ("tess", "tess-unmerged"):
+        lat = make_lattice(spec, shape, b)
+        return tess_schedule(spec, shape, lat, steps,
+                             merged=(scheme == "tess"))
+    if scheme == "diamond":
+        return diamond_schedule(spec, shape, b, steps)
+    if scheme == "pochoir":
+        return levelize(spec, trapezoid_schedule(spec, shape, steps,
+                                                 base_dt=max(2, b // 2)))
+    if scheme == "mwd":
+        return mwd_schedule(spec, shape, b, steps)
+    if scheme == "overlapped":
+        tile = tuple(max(4, n // 8) for n in shape)
+        return overlapped_schedule(spec, shape, steps, tile, max(1, b // 2))
+    raise ValueError(scheme)
+
+
+def cmd_run(args) -> int:
+    from repro import Grid, get_stencil, reference_sweep
+    from repro.perf import time_schedule
+    from repro.runtime import execute_threaded, schedule_stats
+
+    spec = get_stencil(args.kernel)
+    shape = tuple(args.shape) if args.shape else _default_shape(spec)
+    sched = _build_schedule(spec, shape, args.steps, args.scheme, args.depth)
+    st = schedule_stats(sched)
+    print(spec.describe())
+    print(f"scheme={args.scheme} shape={shape} steps={args.steps} "
+          f"b={args.depth}")
+    print(f"tasks={st['tasks']} barriers={st['groups']} "
+          f"redundancy={st['redundancy'] * 100:.1f}%")
+    if args.threads > 1 and not sched.private_tasks:
+        g = Grid(spec, shape, seed=args.seed)
+        import time as _time
+        t0 = _time.perf_counter()
+        out = execute_threaded(spec, g, sched, num_threads=args.threads)
+        secs = _time.perf_counter() - t0
+    else:
+        secs, out = time_schedule(spec, sched, seed=args.seed)
+    g_ref = Grid(spec, shape, seed=args.seed)
+    ref = reference_sweep(spec, g_ref, args.steps)
+    pts = 1
+    for n in shape:
+        pts *= n
+    ok = (np.array_equal(ref, out)
+          if np.issubdtype(spec.dtype, np.integer)
+          else np.allclose(ref, out, rtol=1e-11, atol=1e-12))
+    rate = pts * args.steps / secs / 1e6
+    print(f"wall clock: {secs * 1e3:.1f} ms  ({rate:.1f} MStencil/s)")
+    print(f"verified against naive sweep: {'OK' if ok else 'MISMATCH'}")
+    return 0 if ok else 1
+
+
+def cmd_show(args) -> int:
+    from repro import get_stencil
+    from repro.runtime.spacetime import render_spacetime
+
+    spec = get_stencil("heat1d")
+    sched = _build_schedule(spec, (args.n,), args.steps, args.scheme,
+                            args.depth)
+    print(f"space-time diagram — {args.scheme}, N={args.n}, "
+          f"T={args.steps}, b={args.depth} (glyph = barrier group)")
+    print(render_spacetime(sched, width=args.width))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    from repro import get_stencil
+    from repro.autotune import tune_tessellation
+    from repro.machine import paper_machine
+
+    spec = get_stencil(args.kernel)
+    shape = tuple(args.shape) if args.shape else _default_shape(spec)
+    machine = paper_machine().scaled_caches(0.05)
+    best = tune_tessellation(spec, shape, args.steps, machine, args.cores)
+    print(f"best configuration: {best.describe()}")
+    return 0
+
+
+def cmd_dist(args) -> int:
+    import numpy as np
+
+    from repro import Grid, get_stencil, make_lattice, reference_sweep
+    from repro.bench.report import format_table
+    from repro.distributed import (
+        ClusterSpec, execute_distributed, simulate_distributed,
+    )
+    from repro.machine import paper_machine
+
+    spec = get_stencil(args.kernel)
+    shape = tuple(args.shape) if args.shape else {
+        1: (400,), 2: (64, 64), 3: (20, 20, 20)
+    }[spec.ndim]
+    lat = make_lattice(spec, shape, args.depth)
+    g = Grid(spec, shape, seed=0)
+    ref = reference_sweep(spec, g.copy(), args.steps)
+    out, stats = execute_distributed(spec, g.copy(), lat, args.steps,
+                                     args.ranks)
+    ok = (np.array_equal(ref, out)
+          if np.issubdtype(spec.dtype, np.integer)
+          else np.allclose(ref, out, rtol=1e-11, atol=1e-12))
+    print(f"{args.ranks} simulated ranks on {shape}: "
+          f"{'verified OK' if ok else 'MISMATCH'}; "
+          f"{stats.messages} messages, {stats.bytes_sent} bytes")
+    rows = []
+    base = None
+    for n in args.nodes:
+        r = simulate_distributed(spec, shape, lat, args.steps,
+                                 ClusterSpec(n, paper_machine()))
+        base = base or r.time_s
+        rows.append([n, f"{r.gstencils:.2f}",
+                     f"{r.comm_fraction * 100:.1f}%",
+                     f"{base / r.time_s:.2f}x"])
+    print(format_table(["nodes", "GStencil/s", "comm share", "speedup"],
+                       rows))
+    return 0 if ok else 1
+
+
+def cmd_table(args) -> int:
+    from repro.bench.experiments import table1_properties
+
+    print(table1_properties(max_dim=args.max_dim, b=args.depth))
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.names)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return {
+        "run": cmd_run,
+        "show": cmd_show,
+        "tune": cmd_tune,
+        "dist": cmd_dist,
+        "table": cmd_table,
+        "bench": cmd_bench,
+    }[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,146 @@
+"""Tessellation blocks and their per-step update rectangles.
+
+A stage-``i`` block is identified by its set of *glued* dimensions
+``S`` (``|S| = i``) and, per dimension, a base interval: a lattice
+*plateau* for glued dimensions (the starting region of the block) or a
+lattice *core* for ending dimensions.  At phase-local step ``s`` the
+block updates the hyper-rectangle
+
+* glued dims: base dilated by ``s·σ_j`` (the block grows from its
+  starting region),
+* ending dims: base dilated by ``(b-1-s)·σ_j`` (the block shrinks
+  toward its ending region),
+
+clipped to the domain — exactly the ``xmin``/``xmax`` bounds the
+paper's artifact C code computes (§4.2, coarsened form).  Because every
+per-step update set is a rectangle, a whole block step is one
+vectorised :meth:`~repro.stencils.spec.StencilSpec.apply_region` call.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.core.profiles import Interval, TessLattice
+from repro.stencils.spec import Region, region_size
+
+
+@dataclass(frozen=True)
+class TessBlock:
+    """One tessellation block of one stage.
+
+    Attributes
+    ----------
+    stage: number of glued dimensions ``i``.
+    glued: the glued dimension set (sorted tuple).
+    base: per-dimension base interval in extended coordinates —
+        a plateau for glued dims, a core for ending dims.
+    """
+
+    stage: int
+    glued: Tuple[int, ...]
+    base: Tuple[Interval, ...]
+
+    def region_at(self, s: int, b: int, slopes: Sequence[int],
+                  shape: Sequence[int]) -> Region:
+        """Clipped update rectangle at phase-local step ``s``."""
+        if not 0 <= s < b:
+            raise ValueError(f"local step {s} out of range for b={b}")
+        out: List[Tuple[int, int]] = []
+        gset = set(self.glued)
+        for j, ((lo, hi), sig, n) in enumerate(zip(self.base, slopes, shape)):
+            r = s * sig if j in gset else (b - 1 - s) * sig
+            out.append((max(0, lo - r), min(int(n), hi + r)))
+        return tuple(out)
+
+    def bounding_box(self, b: int, slopes: Sequence[int],
+                     shape: Sequence[int]) -> Region:
+        """Union of all per-step rectangles (max dilation per dim)."""
+        out: List[Tuple[int, int]] = []
+        for (lo, hi), sig, n in zip(self.base, slopes, shape):
+            r = (b - 1) * sig
+            out.append((max(0, lo - r), min(int(n), hi + r)))
+        return tuple(out)
+
+    def total_points(self, b: int, slopes: Sequence[int],
+                     shape: Sequence[int]) -> int:
+        """Total point-updates this block performs in a full phase."""
+        return sum(
+            region_size(self.region_at(s, b, slopes, shape))
+            for s in range(b)
+        )
+
+
+def enumerate_stage_blocks(lattice: TessLattice, stage: int,
+                           slopes: Sequence[int]) -> Iterator[TessBlock]:
+    """All stage-``stage`` blocks whose footprint touches the domain.
+
+    Requires every axis profile to expose plateaus (non-empty gaps) —
+    true for uniform/coarse/stretched profiles with the default
+    periods.
+    """
+    d = lattice.ndim
+    b = lattice.b
+    shape = lattice.shape
+    cores = [p.cores for p in lattice.profiles]
+    plateaus = [p.plateaus() for p in lattice.profiles]
+    for S in itertools.combinations(range(d), stage):
+        gset = set(S)
+        choices = [
+            plateaus[j] if j in gset else cores[j] for j in range(d)
+        ]
+        if any(len(c) == 0 for c in choices):
+            # an axis with no cores (uncut) never acts as an ending
+            # dimension; an axis with no plateau never acts as glued —
+            # this subset simply contributes no blocks
+            continue
+        for base in itertools.product(*choices):
+            blk = TessBlock(stage=stage, glued=tuple(S), base=tuple(base))
+            bbox = blk.bounding_box(b, slopes, shape)
+            if region_size(bbox) == 0:
+                continue
+            yield blk
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """All blocks of one stage of a phase (they run concurrently)."""
+
+    stage: int
+    blocks: Tuple[TessBlock, ...]
+
+
+@dataclass(frozen=True)
+class PhasePlan:
+    """One full phase: stages ``0..d`` in order, barrier between each."""
+
+    lattice: TessLattice
+    slopes: Tuple[int, ...]
+    stages: Tuple[StagePlan, ...]
+
+    @property
+    def b(self) -> int:
+        return self.lattice.b
+
+    def num_blocks(self) -> int:
+        return sum(len(sp.blocks) for sp in self.stages)
+
+    def num_barriers(self) -> int:
+        """Synchronisations per phase (one after each stage)."""
+        return len(self.stages)
+
+
+def build_phase_plan(lattice: TessLattice,
+                     slopes: Sequence[int]) -> PhasePlan:
+    """Enumerate every stage's blocks for one phase of this lattice."""
+    d = lattice.ndim
+    stages = tuple(
+        StagePlan(
+            stage=i,
+            blocks=tuple(enumerate_stage_blocks(lattice, i, slopes)),
+        )
+        for i in range(d + 1)
+    )
+    return PhasePlan(lattice=lattice, slopes=tuple(slopes), stages=stages)

@@ -1,0 +1,202 @@
+"""Combinatorial geometry of the data-space tessellation (paper §3.3).
+
+The ``d``-dimensional data space is tessellated in stage ``i`` by blocks
+``B_i``; this module provides the block-shape combinatorics of Table 1
+and the block point-set generators used to verify Lemma 3.1
+(``B_i = B_{d-i}``) and the volume/centre-point counts.
+
+Conventions
+-----------
+Blocks live on the *uniform* centre lattice: ``B_0`` centres sit at all
+integer vectors ``(2 k_0 b, …, 2 k_{d-1} b)``; ``B_i`` centres have
+exactly ``i`` coordinates that are odd multiples of ``b``.  A block is
+identified by its set of *glued* dimensions ``S`` (``|S| = i``) and its
+centre.  Its interior point set, relative to the centre, is
+
+``{ x : max_{j∈S} |x_j| + max_{j∉S} |x_j| ≤ b - 1 }``
+
+(points on block boundaries — the paper's '-' entries — receive zero
+updates in this stage and are owned by a neighbouring stage).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import FrozenSet, Iterable, Iterator, List, Tuple
+
+import numpy as np
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — properties of the d-dimensional tessellation
+# ---------------------------------------------------------------------------
+
+def num_stages(d: int) -> int:
+    """Stages per phase (time tile): ``d + 1``."""
+    _check_dim(d)
+    return d + 1
+
+
+def b0_size(d: int, b: int) -> int:
+    """Points of ``B_0`` including its boundary: ``(2b+1)^d``."""
+    _check_dim(d)
+    _check_b(b)
+    return (2 * b + 1) ** d
+
+
+def split_count(d: int, i: int) -> int:
+    """Sub-blocks produced by splitting a ``B_i``: ``2(d - i)``."""
+    _check_stage(d, i)
+    return 2 * (d - i)
+
+
+def combine_count(i: int) -> int:
+    """Sub-blocks glued to form a ``B_i`` (``i > 0``): ``2i``."""
+    if i < 1:
+        raise ValueError(f"combine_count defined for i >= 1, got {i}")
+    return 2 * i
+
+
+def centerpoints_on_b0_surface(d: int, i: int) -> int:
+    """``B_i`` centres on the surface of one ``B_0``: ``2^i * C(d, i)``."""
+    _check_stage(d, i)
+    if i == 0:
+        raise ValueError("i must be >= 1 for surface centre counts")
+    return (2 ** i) * math.comb(d, i)
+
+
+def centerpoints_on_b0_plus(d: int, i: int) -> int:
+    """``B_i`` centres on the surface of the quadrant ``B_0^+``: ``C(d,i)``."""
+    _check_stage(d, i)
+    return math.comb(d, i)
+
+
+def num_shape_kinds(d: int) -> int:
+    """Distinct block shapes tessellating the space: ``⌈(d+1)/2⌉``."""
+    _check_dim(d)
+    return (d + 2) // 2
+
+
+def block_count_ratio(d: int, i: int) -> int:
+    """``B_i`` blocks are ``C(d, i)`` times more numerous than ``B_0``.
+
+    Equivalently the volume of one ``B_i`` is ``C(d, i)`` times smaller
+    (the blocks of every stage tessellate the same space).
+    """
+    _check_stage(d, i)
+    return math.comb(d, i)
+
+
+def table1(d: int, b: int) -> dict:
+    """All Table 1 rows for a ``d``-dimensional stencil with depth ``b``."""
+    return {
+        "dim": d,
+        "stages_per_phase": num_stages(d),
+        "b0_size": b0_size(d, b),
+        "split_counts": [split_count(d, i) for i in range(d)],
+        "combine_counts": [combine_count(i) for i in range(1, d + 1)],
+        "surface_centerpoints": [
+            centerpoints_on_b0_surface(d, i) for i in range(1, d + 1)
+        ],
+        "quadrant_centerpoints": [
+            centerpoints_on_b0_plus(d, i) for i in range(d + 1)
+        ],
+        "shape_kinds": num_shape_kinds(d),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Block centres and point sets
+# ---------------------------------------------------------------------------
+
+def stage_center_sets(d: int, i: int) -> Iterator[FrozenSet[int]]:
+    """All ``i``-subsets of dimensions that may be glued in stage ``i``."""
+    _check_stage(d, i)
+    for S in itertools.combinations(range(d), i):
+        yield frozenset(S)
+
+
+def b_i_centers_on_b0(d: int, b: int, i: int) -> np.ndarray:
+    """Centres of ``B_i`` blocks on the surface of ``B_0`` at the origin.
+
+    These are all points with ``i`` coordinates equal to ``±b`` and the
+    remaining ``d - i`` equal to 0 — ``2^i C(d,i)`` of them (Table 1).
+    """
+    _check_stage(d, i)
+    _check_b(b)
+    if i == 0:
+        return np.zeros((1, d), dtype=np.int64)
+    out: List[Tuple[int, ...]] = []
+    for S in itertools.combinations(range(d), i):
+        for signs in itertools.product((-1, 1), repeat=i):
+            c = [0] * d
+            for j, sgn in zip(S, signs):
+                c[j] = sgn * b
+            out.append(tuple(c))
+    return np.asarray(out, dtype=np.int64)
+
+
+def block_points(d: int, b: int, glued: Iterable[int]) -> np.ndarray:
+    """Interior point set of a ``B_i`` block, relative to its centre.
+
+    ``glued`` is the set of glued dimensions (``|glued| = i``).  Points
+    satisfy ``max_glued |x| + max_ending |x| ≤ b - 1``; boundary points
+    (sum equal to ``b`` or beyond) belong to other stages.
+    """
+    _check_b(b)
+    glued = frozenset(glued)
+    if any(not 0 <= j < d for j in glued):
+        raise ValueError(f"glued dims {sorted(glued)} out of range for d={d}")
+    rng = np.arange(-(b - 1), b)
+    mesh = np.meshgrid(*([rng] * d), indexing="ij")
+    coords = np.stack([m.ravel() for m in mesh], axis=-1)
+    absx = np.abs(coords)
+    gl = sorted(glued)
+    en = [j for j in range(d) if j not in glued]
+    mg = absx[:, gl].max(axis=1) if gl else np.zeros(len(coords), dtype=np.int64)
+    me = absx[:, en].max(axis=1) if en else np.zeros(len(coords), dtype=np.int64)
+    return coords[mg + me <= b - 1]
+
+
+def blocks_congruent(pts_a: np.ndarray, pts_b: np.ndarray) -> bool:
+    """True if two relative point sets are equal up to an axis permutation.
+
+    This is the congruence notion of Lemma 3.1: ``B_i`` and ``B_{d-i}``
+    have the same shape (their defining inequality is symmetric under
+    exchanging glued and ending dimension groups).
+    """
+    if pts_a.shape != pts_b.shape:
+        return False
+    d = pts_a.shape[1]
+    set_b = {tuple(p) for p in pts_b}
+    for perm in itertools.permutations(range(d)):
+        if {tuple(p[list(perm)]) for p in pts_a} == set_b:
+            return True
+    return False
+
+
+def block_volume(d: int, b: int, i: int) -> int:
+    """Interior volume of one ``B_i`` block (any glued set — congruent)."""
+    _check_stage(d, i)
+    return len(block_points(d, b, range(i)))
+
+
+# ---------------------------------------------------------------------------
+# validation helpers
+# ---------------------------------------------------------------------------
+
+def _check_dim(d: int) -> None:
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+
+
+def _check_b(b: int) -> None:
+    if b < 1:
+        raise ValueError(f"time-tile depth b must be >= 1, got {b}")
+
+
+def _check_stage(d: int, i: int) -> None:
+    _check_dim(d)
+    if not 0 <= i <= d:
+        raise ValueError(f"stage {i} out of range for d={d}")

@@ -1,0 +1,398 @@
+"""Per-dimension distance profiles — the generalised tessellation lattice.
+
+The paper's scheme assigns every grid point a per-dimension distance
+``a_j ∈ [0, b]`` to the nearest ``B_0`` centre; all stage windows follow
+from those distances (see :mod:`repro.core.timefunc`).  This module
+generalises the centre lattice to an arbitrary family of per-dimension
+distance functions subject to one local condition, which is exactly
+what the correctness proofs need:
+
+    **Validity.**  ``a_j : [0, N_j) → [0, b]`` with
+    ``|a_j(x) - a_j(y)| ≤ 1`` whenever ``|x - y| ≤ σ_j``
+    (``σ_j`` = stencil slope along ``j``; wrap-around included when
+    periodic).
+
+Any valid profile family yields a correct, deadlock-free, redundancy-
+free tessellation schedule (tested property): the stage windows still
+telescope to ``b`` updates per point (Theorem 3.5) and neighbouring
+windows interleave safely (Theorem 3.6), because both proofs only use
+the Lipschitz property.  This one abstraction subsumes:
+
+* the paper's uniform lattice (period ``2b``) — :meth:`AxisProfile.uniform`;
+* §4.2 *coarsening* (per-dimension core width / period) —
+  :meth:`AxisProfile.coarse`;
+* §3.6 *supernodes* for high-order stencils — the ``ceil(dist/σ)``
+  scaling built into every constructor;
+* §3.6 *stretched blocks* for grids whose size is not a multiple of the
+  period (Fig. 6), periodic or not — :meth:`AxisProfile.stretched` and
+  :meth:`AxisProfile.from_cores`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+Interval = Tuple[int, int]
+
+
+def _ceil_div(x: np.ndarray | int, k: int):
+    return (x + k - 1) // k
+
+
+@dataclass(frozen=True)
+class AxisProfile:
+    """Distance profile of one grid dimension.
+
+    Attributes
+    ----------
+    n: interior grid size along this dimension.
+    b: time-tile depth (max distance value).
+    sigma: stencil slope along this dimension.
+    periodic: whether distances wrap around.
+    dist: per-point distance **in points** to the nearest core
+        (``0`` on cores).  The capped, slope-scaled tessellation
+        distance is :meth:`a`.
+    cores: core intervals ``[lo, hi)`` in *extended* coordinates — for
+        non-periodic profiles this includes virtual cores outside
+        ``[0, n)`` whose dilations reach into the domain; for periodic
+        profiles the intervals partition one wrap of the circle.
+    core_width / period: structural parameters when the profile is
+        periodic-in-structure (uniform/coarse); ``None`` for irregular
+        explicit-core profiles.
+    """
+
+    n: int
+    b: int
+    sigma: int
+    periodic: bool
+    dist: np.ndarray
+    cores: Tuple[Interval, ...]
+    core_width: Optional[int] = None
+    period: Optional[int] = None
+    phase: Optional[int] = None
+
+    # -- constructors --------------------------------------------------
+
+    @staticmethod
+    def uniform(n: int, b: int, sigma: int = 1, phase: int = 0,
+                periodic: bool = False) -> "AxisProfile":
+        """Paper's uniform lattice: cores of width ``σ`` and period ``2bσ``.
+
+        For ``σ = 1`` this is exactly the ``B_0`` centre lattice of §3.3
+        (one centre point every ``2b``); for higher-order stencils the
+        ``σ``-wide core is the supernode of Fig. 5.
+        """
+        return AxisProfile.coarse(
+            n, b, sigma=sigma, core_width=sigma, period=2 * b * sigma,
+            phase=phase, periodic=periodic,
+        )
+
+    @staticmethod
+    def coarse(n: int, b: int, sigma: int = 1, core_width: int = 1,
+               period: Optional[int] = None, phase: int = 0,
+               periodic: bool = False) -> "AxisProfile":
+        """§4.2 coarsened lattice: cores of ``core_width`` every ``period``.
+
+        The default period ``core_width + 2(b-1)σ + core_width`` makes
+        the starting plateau as wide as the core — the §4.3 merging
+        condition ("the distance between two ``B_0`` along a dimension
+        should equal the ending block size").
+        """
+        _check_pos("n", n)
+        _check_pos("b", b)
+        _check_pos("sigma", sigma)
+        _check_pos("core_width", core_width)
+        if period is None:
+            period = 2 * core_width + 2 * (b - 1) * sigma
+        if period < core_width + 1:
+            raise ValueError(
+                f"period {period} too small for core_width {core_width}"
+            )
+        phase %= period
+        if periodic and n % period != 0:
+            raise ValueError(
+                f"periodic uniform/coarse profile needs n % period == 0 "
+                f"(n={n}, period={period}); use AxisProfile.stretched"
+            )
+        x = np.arange(n, dtype=np.int64)
+        y = (x - phase) % period
+        inside = y < core_width
+        up = y - (core_width - 1)       # distance walking up from the core
+        down = period - y               # distance to the next core upward
+        dist = np.where(inside, 0, np.minimum(up, down))
+        # enumerate cores whose gaps/dilations can reach the domain
+        margin = period + b * sigma
+        k_lo = -((phase + margin) // period) - 1
+        k_hi = (n + margin - phase) // period + 1
+        cores = tuple(
+            (phase + k * period, phase + k * period + core_width)
+            for k in range(k_lo, k_hi + 1)
+            if phase + k * period + core_width + margin > 0
+            and phase + k * period - margin < n
+        )
+        return AxisProfile(
+            n=n, b=b, sigma=sigma, periodic=periodic, dist=dist,
+            cores=cores, core_width=core_width, period=period, phase=phase,
+        )
+
+    @staticmethod
+    def uncut(n: int, b: int, sigma: int = 1,
+              periodic: bool = False) -> "AxisProfile":
+        """An axis left uncut: constant distance ``b`` everywhere.
+
+        Constant profiles are trivially valid (Lipschitz) and make the
+        axis act as a permanent *glued* dimension: no stage ever uses
+        it as an ending dimension, so blocks span its full extent.
+        Combining one uniform axis with ``d-1`` uncut axes yields
+        exactly the classic diamond tiling along that axis (the paper's
+        observation that its 1D scheme "produces the same diamond
+        tiling codes" as Pluto) — and is how the Pluto-style baseline
+        and the "leave the unit-stride dimension uncut" configuration
+        (§4.2) are expressed in this framework.
+        """
+        _check_pos("n", n)
+        _check_pos("b", b)
+        _check_pos("sigma", sigma)
+        dist = np.full(n, b * sigma, dtype=np.int64)
+        return AxisProfile(
+            n=n, b=b, sigma=sigma, periodic=periodic, dist=dist, cores=(),
+        )
+
+    @staticmethod
+    def from_cores(n: int, b: int, cores: Sequence[Interval],
+                   sigma: int = 1, periodic: bool = False) -> "AxisProfile":
+        """Profile from an explicit core interval list (stretched lattices).
+
+        Core intervals must lie inside ``[0, n)``, be disjoint and
+        sorted.  Distances are computed by a linear two-pass transform
+        (with wrap-around when periodic).
+        """
+        _check_pos("n", n)
+        _check_pos("b", b)
+        _check_pos("sigma", sigma)
+        cores = tuple((int(lo), int(hi)) for lo, hi in cores)
+        if not cores:
+            raise ValueError("at least one core interval is required")
+        prev_hi = None
+        for lo, hi in cores:
+            if not (0 <= lo < hi <= n):
+                raise ValueError(f"core interval {(lo, hi)} outside [0, {n})")
+            if prev_hi is not None and lo < prev_hi:
+                raise ValueError("core intervals must be sorted and disjoint")
+            prev_hi = hi
+        dist = _distance_transform(n, cores, periodic)
+        return AxisProfile(
+            n=n, b=b, sigma=sigma, periodic=periodic, dist=dist, cores=cores,
+        )
+
+    @staticmethod
+    def stretched(n: int, b: int, sigma: int = 1, core_width: Optional[int] = None,
+                  period: Optional[int] = None,
+                  periodic: bool = False) -> "AxisProfile":
+        """Fig. 6 stretching: regular cores plus one stretched gap.
+
+        Lays down as many full periods as fit in ``n`` and stretches the
+        final gap to absorb the remainder, so grids whose size is not a
+        multiple of the block period still get a valid tessellation
+        (the stretched region becomes the paper's hexagonal block:
+        its points take all ``b`` updates in one intermediate stage).
+        """
+        if core_width is None:
+            core_width = sigma
+        if period is None:
+            period = 2 * core_width + 2 * (b - 1) * sigma
+        if n < period:
+            # single stretched cell: one core at the origin
+            return AxisProfile.from_cores(
+                n, b, [(0, min(core_width, n))], sigma=sigma, periodic=periodic
+            )
+        k = n // period
+        cores = [(j * period, j * period + core_width) for j in range(k)]
+        return AxisProfile.from_cores(n, b, cores, sigma=sigma, periodic=periodic)
+
+    # -- derived quantities ---------------------------------------------
+
+    def a(self) -> np.ndarray:
+        """Capped slope-scaled tessellation distance, ``min(b, ⌈dist/σ⌉)``."""
+        return np.minimum(self.b, _ceil_div(self.dist, self.sigma)).astype(np.int64)
+
+    def plateaus(self) -> Tuple[Interval, ...]:
+        """Maximal intervals where ``a == b`` (starting regions of ``B_d``).
+
+        For structurally periodic profiles these are derived from the
+        core list in extended coordinates (including virtual plateaus
+        partially outside the domain); for explicit-core profiles they
+        are found by scanning the distance array.
+        """
+        theta = (self.b - 1) * self.sigma + 1  # dist threshold for a == b
+        if self.period is not None:
+            out: List[Interval] = []
+            for lo, hi in self.cores:
+                # plateau in the gap that starts at this core's hi edge
+                plo = hi + theta - 1
+                phi = lo + self.period - theta + 1
+                if phi > plo:
+                    out.append((plo, phi))
+            return tuple(out)
+        return _plateau_scan(self.a(), self.b, self.n, self.periodic)
+
+    def shifted_to_plateaus(self) -> "AxisProfile":
+        """The alternate-level profile for §4.3 merging.
+
+        Returns a profile whose cores sit exactly on this profile's
+        plateaus — valid only when plateau width equals core width
+        (the merging condition).  Used by the merged executor to
+        alternate lattice levels between phases.
+        """
+        if not self.cores:
+            # uncut axis: constant profile, shifting is the identity
+            return self
+        if self.period is None or self.core_width is None:
+            raise ValueError("merging requires a structurally periodic profile")
+        plateau_width = self.period - self.core_width - 2 * (self.b - 1) * self.sigma
+        if plateau_width != self.core_width:
+            raise ValueError(
+                f"merging condition violated: plateau width {plateau_width} "
+                f"!= core width {self.core_width} "
+                f"(choose period = 2*core_width + 2*(b-1)*sigma)"
+            )
+        new_phase = (self.phase + self.core_width + (self.b - 1) * self.sigma)
+        return AxisProfile.coarse(
+            self.n, self.b, sigma=self.sigma, core_width=self.core_width,
+            period=self.period, phase=new_phase, periodic=self.periodic,
+        )
+
+    # -- validation ------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise if the profile violates the validity condition."""
+        av = self.a()
+        if av.shape != (self.n,):
+            raise ValueError("distance array has wrong length")
+        if av.min() < 0 or av.max() > self.b:
+            raise ValueError("distances out of range [0, b]")
+        for delta in range(1, self.sigma + 1):
+            if self.n > delta:
+                if np.abs(av[delta:] - av[:-delta]).max(initial=0) > 1:
+                    raise ValueError(
+                        f"profile is not 1-Lipschitz at slope offset {delta}"
+                    )
+            if self.periodic:
+                wrapped = np.abs(av[:delta] - av[self.n - delta:])
+                if wrapped.max(initial=0) > 1:
+                    raise ValueError(
+                        f"periodic profile violates Lipschitz across the wrap "
+                        f"at offset {delta}"
+                    )
+
+
+def _distance_transform(n: int, cores: Sequence[Interval],
+                        periodic: bool) -> np.ndarray:
+    """1-D distance-to-core transform, O(n), optional wrap-around."""
+    big = np.int64(1) << 40
+    base = np.full(n, big, dtype=np.int64)
+    for lo, hi in cores:
+        base[lo:hi] = 0
+    if periodic:
+        # three copies make every wrapped path visible to the linear scans
+        work = np.concatenate([base, base, base])
+    else:
+        work = base.copy()
+    idx = np.arange(len(work), dtype=np.int64)
+    fwd = idx + np.minimum.accumulate(work - idx)
+    bwd = -idx + np.minimum.accumulate((work + idx)[::-1])[::-1]
+    dist = np.minimum(fwd, bwd)
+    if periodic:
+        dist = dist[n:2 * n]
+    return np.minimum(dist, big)
+
+
+def _plateau_scan(a: np.ndarray, b: int, n: int,
+                  periodic: bool) -> Tuple[Interval, ...]:
+    """Maximal runs of ``a == b`` (wrap-joined runs kept split)."""
+    mask = a == b
+    if not mask.any():
+        return ()
+    idx = np.flatnonzero(mask)
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate([[idx[0]], idx[breaks + 1]])
+    ends = np.concatenate([idx[breaks] + 1, [idx[-1] + 1]])
+    return tuple((int(s), int(e)) for s, e in zip(starts, ends))
+
+
+@dataclass(frozen=True)
+class TessLattice:
+    """A full d-dimensional tessellation lattice: one profile per axis.
+
+    The lattice ties the per-dimension profiles to a common time-tile
+    depth ``b`` and provides the batched distance arrays executors use.
+    """
+
+    profiles: Tuple[AxisProfile, ...]
+
+    def __post_init__(self):
+        if not self.profiles:
+            raise ValueError("at least one axis profile required")
+        bs = {p.b for p in self.profiles}
+        if len(bs) != 1:
+            raise ValueError(f"all profiles must share one depth b, got {bs}")
+
+    @staticmethod
+    def uniform(shape: Sequence[int], b: int, slopes: Sequence[int] | None = None,
+                periodic: bool = False, phases: Sequence[int] | None = None
+                ) -> "TessLattice":
+        d = len(shape)
+        slopes = tuple(slopes) if slopes is not None else (1,) * d
+        phases = tuple(phases) if phases is not None else (0,) * d
+        return TessLattice(tuple(
+            AxisProfile.uniform(int(n), b, sigma=s, phase=ph, periodic=periodic)
+            for n, s, ph in zip(shape, slopes, phases)
+        ))
+
+    @staticmethod
+    def coarse(shape: Sequence[int], b: int, slopes: Sequence[int] | None = None,
+               core_widths: Sequence[int] | None = None,
+               periods: Sequence[Optional[int]] | None = None,
+               phases: Sequence[int] | None = None,
+               periodic: bool = False) -> "TessLattice":
+        d = len(shape)
+        slopes = tuple(slopes) if slopes is not None else (1,) * d
+        core_widths = tuple(core_widths) if core_widths is not None else slopes
+        periods = tuple(periods) if periods is not None else (None,) * d
+        phases = tuple(phases) if phases is not None else (0,) * d
+        return TessLattice(tuple(
+            AxisProfile.coarse(int(n), b, sigma=s, core_width=w, period=p,
+                               phase=ph, periodic=periodic)
+            for n, s, w, p, ph in zip(shape, slopes, core_widths, periods, phases)
+        ))
+
+    @property
+    def b(self) -> int:
+        return self.profiles[0].b
+
+    @property
+    def ndim(self) -> int:
+        return len(self.profiles)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return tuple(p.n for p in self.profiles)
+
+    def distance_arrays(self) -> List[np.ndarray]:
+        """Per-axis capped distance vectors ``a_j`` (length ``N_j``)."""
+        return [p.a() for p in self.profiles]
+
+    def validate(self) -> None:
+        for p in self.profiles:
+            p.validate()
+
+    def shifted_to_plateaus(self) -> "TessLattice":
+        return TessLattice(tuple(p.shifted_to_plateaus() for p in self.profiles))
+
+
+def _check_pos(name: str, v: int) -> None:
+    if v < 1:
+        raise ValueError(f"{name} must be >= 1, got {v}")

@@ -1,0 +1,134 @@
+"""Tessellation schedules as :class:`~repro.runtime.schedule.RegionSchedule`.
+
+The block executors in :mod:`repro.core.executor` run the tessellation
+directly; this module instead *emits* the same work as a flat region
+schedule, so the tessellation can be analysed, executed and simulated
+through exactly the same machinery as every baseline scheme (threaded
+execution, task graphs, the simulated machine).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Sequence
+
+from repro.core.blocks import TessBlock, build_phase_plan
+from repro.core.profiles import TessLattice
+from repro.runtime.schedule import RegionAction, RegionSchedule
+from repro.stencils.spec import StencilSpec, region_is_empty
+
+
+def _block_actions(block: TessBlock, b: int, slopes, shape,
+                   tt: int, span: int, t_end: int):
+    """Clipped actions of one block for the phase starting at ``tt``."""
+    out = []
+    for s in range(span):
+        if tt + s >= t_end:
+            break
+        region = block.region_at(s, b, slopes, shape)
+        if not region_is_empty(region):
+            out.append(RegionAction(t=tt + s, region=region))
+    return out
+
+
+def tess_schedule(
+    spec: StencilSpec,
+    shape: Sequence[int],
+    lattice: TessLattice,
+    steps: int,
+    merged: bool = False,
+) -> RegionSchedule:
+    """Compile ``steps`` time steps of the tessellation to a schedule.
+
+    ``merged=False`` gives the plain §3 structure (one barrier group
+    per non-empty stage per phase); ``merged=True`` gives the §4.3
+    structure (``B_d``+``B_0`` diamonds fused, alternating lattice
+    levels) with one fewer barrier per phase.
+    """
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    shape = tuple(int(n) for n in shape)
+    if lattice.shape != shape:
+        raise ValueError(f"lattice shape {lattice.shape} != {shape}")
+    b = lattice.b
+    d = lattice.ndim
+    slopes = tuple(p.sigma for p in lattice.profiles)
+    name = "tessellation-merged" if merged else "tessellation"
+    sched = RegionSchedule(scheme=name, shape=shape, steps=steps)
+    if steps == 0:
+        return sched
+    if not merged:
+        plan = build_phase_plan(lattice, slopes)
+        group = 0
+        tt = 0
+        while tt < steps:
+            span = min(b, steps - tt)
+            for sp in plan.stages:
+                emitted = False
+                for blk in sp.blocks:
+                    actions = _block_actions(
+                        blk, b, slopes, shape, tt, span, steps
+                    )
+                    if actions:
+                        sched.add(group, actions,
+                                  label=f"t{tt}:stage{sp.stage}")
+                        emitted = True
+                if emitted:
+                    group += 1
+            tt += b
+        return sched
+
+    # merged variant
+    levels = [lattice, lattice.shifted_to_plateaus()]
+    plans = [build_phase_plan(lv, slopes) for lv in levels]
+    group = 0
+    # with uncut axes the lowest active stage is #uncut, not 0; it
+    # plays the B_0 role in the merge (its blocks share the plateau
+    # bases, and on uncut axes glued/ending dilations both clip to
+    # the full extent)
+    omin = sum(1 for p in lattice.profiles if not p.cores)
+    # prologue: the first phase's lowest stage runs unmerged
+    span0 = min(b, steps)
+    emitted = False
+    for blk in plans[0].stages[omin].blocks:
+        actions = _block_actions(blk, b, slopes, shape, 0, span0, steps)
+        if actions:
+            sched.add(group, actions, label=f"t0:stage{omin}")
+            emitted = True
+    if emitted:
+        group += 1
+    level = 0
+    tt = 0
+    all_dims = tuple(range(d))
+    while tt < steps:
+        span = min(b, steps - tt)
+        span_next = min(b, max(0, steps - tt - b))
+        for sp in plans[level].stages[omin + 1:d]:
+            emitted = False
+            for blk in sp.blocks:
+                actions = _block_actions(blk, b, slopes, shape, tt, span, steps)
+                if actions:
+                    sched.add(group, actions,
+                              label=f"t{tt}:stage{sp.stage}")
+                    emitted = True
+            if emitted:
+                group += 1
+        # merged B_d + next-phase B_0, same base interval
+        plats = [p.plateaus() for p in levels[level].profiles]
+        emitted = False
+        for base in itertools.product(*plats):
+            bd = TessBlock(stage=d, glued=all_dims, base=tuple(base))
+            actions = _block_actions(bd, b, slopes, shape, tt, span, steps)
+            if span_next > 0:
+                b0 = TessBlock(stage=0, glued=(), base=tuple(base))
+                actions += _block_actions(
+                    b0, b, slopes, shape, tt + b, span_next, steps
+                )
+            if actions:
+                sched.add(group, actions, label=f"t{tt}:merged")
+                emitted = True
+        if emitted:
+            group += 1
+        level = 1 - level
+        tt += b
+    return sched

@@ -1,0 +1,200 @@
+"""Update-time functions of the tessellation scheme (paper §3.4–3.5).
+
+Everything in this module operates on the per-dimension *distance
+vector* ``a = (a_0, …, a_{d-1})`` of a grid point: ``a_j`` is the
+point's distance to the nearest ``B_0`` centre hyperplane along
+dimension ``j``, capped at the time-tile depth ``b``.  The paper derives
+(Lemmas 3.2 and 3.4) that the stage-``i`` update count of a point
+depends only on the multiset of its distances:
+
+* sort descending, ``a_(0) ≥ … ≥ a_(d-1)``, and pad ``a_(-1) = b``,
+  ``a_(d) = 0``; then the stage-``i`` update count is the *gap*
+
+  ``T_i = a_(i-1) - a_(i)``
+
+  (so ``T_0 = b - a_(0)`` and ``T_d = a_(d-1)``), and
+
+* inside stage ``i`` the point is updated during the phase-local step
+  window ``[b - a_(i-1), b - a_(i))``, advancing exactly one time step
+  per local step.
+
+The two headline theorems fall out immediately and are exposed as
+checkable predicates: the gaps telescope to ``b`` (Theorem 3.5) and the
+windows of ±1-apart neighbours interleave safely (Theorem 3.6).
+
+All functions accept either a single distance vector (1-D array-like of
+length ``d``) or a batch (``(..., d)`` array); results broadcast over
+the leading axes.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _as_batch(a: np.ndarray) -> np.ndarray:
+    arr = np.asarray(a, dtype=np.int64)
+    if arr.ndim == 0:
+        raise ValueError("distance vector must have at least one dimension")
+    return arr
+
+
+def sorted_desc(a: np.ndarray) -> np.ndarray:
+    """Distances sorted descending along the last axis."""
+    arr = _as_batch(a)
+    return -np.sort(-arr, axis=-1)
+
+
+def padded_sorted(a: np.ndarray, b: int) -> np.ndarray:
+    """Sorted distances with the sentinel pads ``a_(-1)=b``, ``a_(d)=0``.
+
+    Returns an array with last axis of length ``d + 2``:
+    ``[b, a_(0), …, a_(d-1), 0]``.
+    """
+    s = sorted_desc(a)
+    if np.any(s > b) or np.any(s < 0):
+        raise ValueError(f"distances must lie in [0, {b}]")
+    pad_shape = s.shape[:-1] + (1,)
+    lead = np.full(pad_shape, b, dtype=s.dtype)
+    tail = np.zeros(pad_shape, dtype=s.dtype)
+    return np.concatenate([lead, s, tail], axis=-1)
+
+
+def update_counts(a: np.ndarray, b: int) -> np.ndarray:
+    """``T_i`` for all stages ``i = 0..d`` (Lemma 3.2 / 3.4 gap form).
+
+    Last axis of the result has length ``d + 1``; entry ``i`` is the
+    number of time steps the point advances during stage ``i``.
+    """
+    p = padded_sorted(a, b)
+    return p[..., :-1] - p[..., 1:]
+
+
+def stage_window(a: np.ndarray, b: int, i: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Half-open phase-local step window ``[start, end)`` of stage ``i``.
+
+    ``start = b - a_(i-1)`` and ``end = b - a_(i)`` with the sentinel
+    pads; the point is updated at local steps ``start, …, end-1`` of
+    stage ``i``, advancing from phase time ``s`` to ``s+1`` at step
+    ``s``.
+    """
+    p = padded_sorted(a, b)
+    d = p.shape[-1] - 2
+    if not 0 <= i <= d:
+        raise ValueError(f"stage {i} out of range for d={d}")
+    return b - p[..., i], b - p[..., i + 1]
+
+
+def stage_index(a: np.ndarray, b: int, s: int) -> np.ndarray:
+    """Stage in which the update ``s → s+1`` of this point happens.
+
+    Derived identity: the point advances from phase time ``s`` to
+    ``s+1`` during stage ``#{j : a_j ≥ b - s}``.
+    """
+    arr = _as_batch(a)
+    if not 0 <= s < b:
+        raise ValueError(f"local step {s} out of range for b={b}")
+    return np.count_nonzero(arr >= b - s, axis=-1)
+
+
+def accumulated_time(a: np.ndarray, b: int, after_stage: int) -> np.ndarray:
+    """Total updates after stages ``0..after_stage`` (``b - a_(k)``).
+
+    ``after_stage = -1`` gives 0 (before the phase); ``after_stage = d``
+    gives ``b`` (Theorem 3.5).
+    """
+    p = padded_sorted(a, b)
+    d = p.shape[-1] - 2
+    if not -1 <= after_stage <= d:
+        raise ValueError(f"stage {after_stage} out of range for d={d}")
+    return b - p[..., after_stage + 1]
+
+
+# ---------------------------------------------------------------------------
+# Literal paper formulas (used as cross-checks in the test-suite)
+# ---------------------------------------------------------------------------
+
+def T_start(a: np.ndarray, b: int, i: int) -> np.ndarray:
+    """Paper ``T_i^s``: max of ``b - a_j`` over the starting dimensions.
+
+    Here the starting dimensions of the containing ``B_i`` block are,
+    by Lemma 3.4, the ``i`` dimensions with the largest distances.
+    """
+    start, _ = stage_window(a, b, i)
+    return start
+
+
+def T_end(a: np.ndarray, b: int, i: int) -> np.ndarray:
+    """Paper ``T_i^e``: ``b`` minus the max distance over ending dims."""
+    _, end = stage_window(a, b, i)
+    return end
+
+
+def lemma_3_2(a: np.ndarray, b: int, i: int) -> np.ndarray:
+    """Unified form of Lemma 3.2 for the point's *owning* block.
+
+    ``T_i = min(b, A_1) - max(0, A_2)`` where ``A_1`` holds the point's
+    ``i`` largest distances (the dimensions glued in its stage-``i``
+    block, Lemma 3.4) and ``A_2`` the remaining ``d - i``; the ``b``
+    and ``0`` arguments are the sentinels for the empty sets at
+    ``i = 0`` and ``i = d``.  (The paper prints the two index ranges
+    the other way around, which contradicts its own ``T_i^s``/``T_i^e``
+    derivation and Table 2; this is the reconciled form, equal to the
+    gap form used everywhere else — tested property.)
+    """
+    arr = sorted_desc(a)
+    d = arr.shape[-1]
+    if not 0 <= i <= d:
+        raise ValueError(f"stage {i} out of range for d={d}")
+    lo = np.min(arr[..., :i], axis=-1, initial=b)
+    hi = np.max(arr[..., i:], axis=-1, initial=0)
+    return lo - hi
+
+
+def lemma_3_4_split(a: np.ndarray, i: int, starting: Tuple[int, ...]) -> np.ndarray:
+    """``min(A_1) - max(A_2)`` for an arbitrary ``i``-subset split.
+
+    Lemma 3.4: the value is ``≥ 0`` only when ``starting`` picks the
+    ``i`` largest distances; every other split is ``≤ 0``.  Used to
+    prove each point belongs to exactly one ``B_i`` block per stage.
+    """
+    arr = _as_batch(a)
+    d = arr.shape[-1]
+    sset = tuple(sorted(starting))
+    if len(sset) != i or any(not 0 <= j < d for j in sset) or len(set(sset)) != i:
+        raise ValueError(f"starting dims {starting} is not an {i}-subset of 0..{d-1}")
+    rest = tuple(j for j in range(d) if j not in sset)
+    if not sset:
+        raise ValueError("split requires a non-empty starting set (0 < i < d)")
+    if not rest:
+        raise ValueError("split requires a non-empty ending set (0 < i < d)")
+    a1 = arr[..., sset]
+    a2 = arr[..., rest]
+    return np.min(a1, axis=-1) - np.max(a2, axis=-1)
+
+
+def theorem_3_5_holds(a: np.ndarray, b: int) -> np.ndarray:
+    """Check ``Σ_i T_i == b`` pointwise (Theorem 3.5)."""
+    return update_counts(a, b).sum(axis=-1) == b
+
+
+def theorem_3_6_holds(a: np.ndarray, a_neighbor: np.ndarray, b: int) -> bool:
+    """Check the dependence condition between two neighbouring points.
+
+    For every stage prefix, the accumulated times of points whose
+    distance vectors differ by at most one per dimension must differ by
+    at most one — the correctness condition of §3.4 (Theorem 3.6).
+    """
+    ax = _as_batch(a)
+    ay = _as_batch(a_neighbor)
+    if np.any(np.abs(ax - ay) > 1):
+        raise ValueError("inputs are not neighbouring distance vectors")
+    d = ax.shape[-1]
+    for k in range(-1, d + 1):
+        tx = accumulated_time(ax, b, k)
+        ty = accumulated_time(ay, b, k)
+        if np.any(np.abs(tx - ty) > 1):
+            return False
+    return True

@@ -1,0 +1,126 @@
+"""Cluster cost model for the distributed tessellation.
+
+Combines the shared-memory node model of :mod:`repro.machine.model`
+with a classic α–β network: each stage costs the slowest node's
+compute time plus its largest exchange (latency + volume/bandwidth),
+phases repeat to cover all time steps.  Used for strong-scaling
+what-if analysis of §4.1 (nodes × cores), not for reproducing paper
+figures (the paper stays on one node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.core.blocks import build_phase_plan
+from repro.core.profiles import TessLattice
+from repro.distributed.partition import SlabPartition
+from repro.distributed.plan import communication_plan
+from repro.machine.model import _lpt_makespan
+from repro.machine.spec import MachineSpec
+from repro.stencils.spec import StencilSpec, region_is_empty
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster: ``nodes`` × one node machine + network."""
+
+    nodes: int
+    node: MachineSpec
+    latency_s: float = 2.0e-6       # per-message α
+    bandwidth_bytes: float = 12.5e9  # per-link β (100 Gb/s)
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+
+
+@dataclass(frozen=True)
+class DistSimResult:
+    scheme: str
+    nodes: int
+    cores_per_node: int
+    time_s: float
+    comm_bytes: float
+    comm_time_s: float
+    useful_points: int
+
+    @property
+    def gstencils(self) -> float:
+        return self.useful_points / self.time_s / 1e9 if self.time_s else 0.0
+
+    @property
+    def comm_fraction(self) -> float:
+        return self.comm_time_s / self.time_s if self.time_s else 0.0
+
+
+def simulate_distributed(
+    spec: StencilSpec,
+    shape: Tuple[int, ...],
+    lattice: TessLattice,
+    steps: int,
+    cluster: ClusterSpec,
+    cores_per_node: int | None = None,
+    axis: int = 0,
+) -> DistSimResult:
+    """Strong-scaling estimate of one tessellated run on a cluster."""
+    if steps < 0:
+        raise ValueError(f"steps must be >= 0, got {steps}")
+    node = cluster.node
+    cores = cores_per_node if cores_per_node is not None else node.cores
+    if not 1 <= cores <= node.cores:
+        raise ValueError(f"cores_per_node out of range: {cores}")
+    part = SlabPartition(shape, cluster.nodes, axis=axis)
+    slopes = tuple(p.sigma for p in lattice.profiles)
+    plan = build_phase_plan(lattice, slopes)
+    b = lattice.b
+    fpp = spec.flops_per_point
+
+    comm = communication_plan(spec, shape, lattice, cluster.nodes, axis=axis)
+    recv_by_stage: Dict[Tuple[int, int], int] = {}
+    for e in comm:
+        key = (e.stage, e.dst)
+        recv_by_stage[key] = recv_by_stage.get(key, 0) + e.bytes
+
+    phase_time = 0.0
+    phase_comm_time = 0.0
+    phase_comm_bytes = sum(e.bytes for e in comm)
+    for si, sp in enumerate(plan.stages):
+        # per-node compute makespans
+        node_times = []
+        for r in range(cluster.nodes):
+            times = []
+            for blk in sp.blocks:
+                bbox = blk.bounding_box(b, slopes, shape)
+                if region_is_empty(bbox):
+                    continue
+                if part.owner_of_box(bbox) != r:
+                    continue
+                pts = blk.total_points(b, slopes, shape)
+                times.append(
+                    node.task_overhead_s + pts * fpp / node.flop_rate
+                )
+            ms, _ = _lpt_makespan(times, cores)
+            node_times.append(ms)
+        stage_compute = max(node_times, default=0.0)
+        stage_comm = max(
+            (cluster.latency_s + v / cluster.bandwidth_bytes
+             for (s, _), v in recv_by_stage.items() if s == si),
+            default=0.0,
+        )
+        phase_time += stage_compute + stage_comm + node.barrier_s(cores)
+        phase_comm_time += stage_comm
+    phases = -(-steps // b)
+    interior = 1
+    for n in shape:
+        interior *= int(n)
+    return DistSimResult(
+        scheme="tessellation-distributed",
+        nodes=cluster.nodes,
+        cores_per_node=cores,
+        time_s=phase_time * phases,
+        comm_bytes=float(phase_comm_bytes * phases),
+        comm_time_s=phase_comm_time * phases,
+        useful_points=interior * steps,
+    )

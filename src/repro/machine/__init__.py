@@ -1,0 +1,34 @@
+"""Simulated evaluation machine.
+
+The paper's measurements were taken on a dual-socket 12-core Xeon
+E5-2670 system; this environment has one core and no native compiler,
+so the figures are regenerated on a *simulated* machine instead (see
+DESIGN.md §4 for the substitution argument):
+
+* :mod:`~repro.machine.spec` — machine description, with
+  :func:`~repro.machine.spec.paper_machine` configured from the
+  paper's §5.1 (2 × 12 cores, 2.7 GHz, 32 KB / 256 KB / 30 MB caches);
+* :mod:`~repro.machine.cache` — a set-associative LRU cache simulator
+  and multi-level hierarchy (used to validate the analytic traffic
+  estimates on small instances);
+* :mod:`~repro.machine.access` — address-stream generation from region
+  schedules for the cache simulator;
+* :mod:`~repro.machine.model` — the roofline + LPT-scheduling cost
+  model that turns a scheme's real task graph into time, GFLOP/s,
+  memory traffic and bandwidth numbers.
+"""
+
+from repro.machine.spec import MachineSpec, paper_machine
+from repro.machine.cache import SetAssociativeCache, CacheHierarchy
+from repro.machine.access import simulate_schedule_cache
+from repro.machine.model import SimResult, simulate
+
+__all__ = [
+    "MachineSpec",
+    "paper_machine",
+    "SetAssociativeCache",
+    "CacheHierarchy",
+    "simulate_schedule_cache",
+    "SimResult",
+    "simulate",
+]

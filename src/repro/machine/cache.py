@@ -1,0 +1,151 @@
+"""Set-associative LRU cache simulator.
+
+A classic trace-driven simulator: addresses are mapped to sets by the
+line index, each set keeps true-LRU order, writes allocate and dirty
+lines write back on eviction.  :class:`CacheHierarchy` stacks levels
+(inclusive, demand-fill) and reports per-level hit/miss counts plus
+the memory traffic at the bottom — the quantity the paper's Figure 12
+plots and the analytic model in :mod:`repro.machine.model` estimates.
+
+The simulator is exact but slow (Python per-line bookkeeping); it is
+used on *small* instances to sanity-check the analytic traffic
+estimates, not inside the figure benchmarks themselves.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Iterable, List, Tuple
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class SetAssociativeCache:
+    """One cache level with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes: total capacity; must be a multiple of ``line * ways``.
+    line_bytes: cache line size.
+    ways: associativity (``0`` means fully associative).
+    """
+
+    def __init__(self, size_bytes: int, line_bytes: int = 64, ways: int = 8):
+        if size_bytes <= 0 or line_bytes <= 0:
+            raise ValueError("cache and line sizes must be positive")
+        lines = size_bytes // line_bytes
+        if lines == 0:
+            raise ValueError("cache smaller than one line")
+        if ways == 0 or ways > lines:
+            ways = lines
+        if lines % ways != 0:
+            raise ValueError(
+                f"{size_bytes}B / {line_bytes}B lines not divisible into "
+                f"{ways}-way sets"
+            )
+        self.line_bytes = line_bytes
+        self.ways = ways
+        self.num_sets = lines // ways
+        # per-set OrderedDict: line_tag -> dirty flag, LRU order = insertion
+        self._sets: List[OrderedDict] = [
+            OrderedDict() for _ in range(self.num_sets)
+        ]
+        self.stats = CacheStats()
+
+    def _locate(self, addr: int) -> Tuple[int, int]:
+        line = addr // self.line_bytes
+        return line % self.num_sets, line
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Touch one address; returns True on hit.
+
+        On a miss the line is allocated (write-allocate) and the LRU
+        victim evicted (counted; dirty victims count as writebacks).
+        """
+        set_idx, tag = self._locate(addr)
+        s = self._sets[set_idx]
+        if tag in s:
+            dirty = s.pop(tag)
+            s[tag] = dirty or is_write
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        if len(s) >= self.ways:
+            _, victim_dirty = s.popitem(last=False)
+            self.stats.evictions += 1
+            if victim_dirty:
+                self.stats.writebacks += 1
+        s[tag] = is_write
+        return False
+
+    def flush(self) -> int:
+        """Evict everything; returns the number of dirty writebacks."""
+        wb = 0
+        for s in self._sets:
+            for dirty in s.values():
+                if dirty:
+                    wb += 1
+            s.clear()
+        self.stats.writebacks += wb
+        return wb
+
+    def resident_lines(self) -> int:
+        return sum(len(s) for s in self._sets)
+
+
+class CacheHierarchy:
+    """Inclusive multi-level hierarchy with demand fill.
+
+    ``levels`` are ordered nearest-first (L1, L2, LLC).  An access
+    probes levels in order; the first hit stops the walk, a full miss
+    counts as memory traffic (one line read; evicted dirty lines at
+    the last level count as write traffic).
+    """
+
+    def __init__(self, levels: Iterable[SetAssociativeCache]):
+        self.levels = list(levels)
+        if not self.levels:
+            raise ValueError("hierarchy needs at least one level")
+        line = {l.line_bytes for l in self.levels}
+        if len(line) != 1:
+            raise ValueError("all levels must share one line size")
+        self.line_bytes = line.pop()
+        self.mem_reads = 0   # lines fetched from memory
+        self.mem_writes = 0  # dirty lines written back to memory
+
+    def access(self, addr: int, is_write: bool = False) -> int:
+        """Returns the level index that hit (``len(levels)`` = memory)."""
+        for i, level in enumerate(self.levels):
+            wb_before = level.stats.writebacks
+            hit = level.access(addr, is_write=is_write)
+            if i == len(self.levels) - 1:
+                self.mem_writes += level.stats.writebacks - wb_before
+            if hit:
+                return i
+        self.mem_reads += 1
+        return len(self.levels)
+
+    def flush(self) -> None:
+        for i, level in enumerate(self.levels):
+            wb = level.flush()
+            if i == len(self.levels) - 1:
+                self.mem_writes += wb
+
+    @property
+    def memory_traffic_bytes(self) -> int:
+        return (self.mem_reads + self.mem_writes) * self.line_bytes

@@ -1,0 +1,328 @@
+"""Roofline + list-scheduling cost model.
+
+Turns a scheme's *real* task graph into simulated execution time on a
+:class:`~repro.machine.spec.MachineSpec`.  The model is deliberately
+simple and fully documented — the paper's performance story is carried
+by the schedules themselves (concurrency profiles, synchronisation
+counts, load balance, working-set sizes); the model only converts
+those properties into seconds.
+
+Per barrier group with ``p`` cores:
+
+1. every task gets a compute time
+   ``overhead + actions·action_overhead + flops / flop_rate``
+   and a memory traffic estimate (working set once if it fits the
+   per-task cache budget, else streaming bytes per step — the temporal
+   reuse captured by time tiling);
+2. tasks are assigned to cores by LPT (longest processing time first)
+   — the group's compute time is the maximal core load, which exposes
+   load imbalance when a wavefront has few or uneven tasks;
+3. the group takes ``max(compute makespan, group traffic / memory
+   bandwidth)`` — the roofline — plus one barrier.
+
+Total time sums the groups.  Results report the paper's figure axes:
+performance (GStencil/s of *required* updates, so redundant work hurts
+rather than inflates), memory transfer volume and achieved bandwidth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec
+from repro.runtime.schedule import RegionSchedule
+from repro.runtime.taskgraph import TaskGraph, TaskNode, build_taskgraph
+from repro.stencils.spec import StencilSpec
+
+
+@dataclass(frozen=True)
+class SimResult:
+    """Outcome of one simulated run."""
+
+    scheme: str
+    cores: int
+    time_s: float
+    useful_flops: int
+    useful_points: int
+    total_points: int
+    traffic_bytes: float
+    barriers: int
+    compute_bound_groups: int
+    memory_bound_groups: int
+    load_imbalance: float   # mean(max core load / mean core load)
+
+    @property
+    def gflops(self) -> float:
+        return self.useful_flops / self.time_s / 1e9 if self.time_s else 0.0
+
+    @property
+    def gstencils(self) -> float:
+        """Billions of required point-updates per second."""
+        return self.useful_points / self.time_s / 1e9 if self.time_s else 0.0
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.traffic_bytes / self.time_s / 1e9 if self.time_s else 0.0
+
+    @property
+    def traffic_gb(self) -> float:
+        return self.traffic_bytes / 1e9
+
+
+def task_traffic_bytes(node: TaskNode, spec: StencilSpec,
+                       machine: MachineSpec) -> float:
+    """Analytic memory traffic of one task, ignoring LLC residency.
+
+    If the task's working set fits its cache budget it is read once
+    (cold misses) and written back once; otherwise every step streams:
+    one read + one write + one write-allocate per point per step.
+    """
+    itemsize = np.dtype(spec.dtype).itemsize
+    streaming = 3.0 * itemsize * node.points
+    if node.footprint_bytes <= machine.cache_per_task():
+        return float(min(node.footprint_bytes, streaming + node.footprint_bytes))
+    return streaming
+
+
+class LLCResidency:
+    """Approximate socket-LLC reuse across tasks.
+
+    Keeps a FIFO of recently touched bounding boxes up to the LLC
+    capacity of the active sockets.  A new task is charged only for
+    the part of its working set not covered by the best-overlapping
+    resident box — this is what makes Girih's step-locked diamonds
+    cheap (each wavefront step revisits almost the same box) and stops
+    neighbouring small tiles from being double-charged for shared halo
+    lines.  Overlap is measured against the single best resident box
+    (exact for the revisit pattern, conservative for unions).
+    """
+
+    #: hard cap on tracked boxes (FIFO) — bounds cost per charge
+    MAX_BOXES = 256
+
+    def __init__(self, capacity_bytes: float):
+        self.capacity = max(0.0, float(capacity_bytes))
+        self._lo: Optional[np.ndarray] = None   # (MAX_BOXES, d)
+        self._hi: Optional[np.ndarray] = None
+        self._bytes: Optional[np.ndarray] = None
+        self._count = 0
+        self._head = 0  # next slot to overwrite (FIFO ring)
+        self._total = 0.0
+
+    def _ensure(self, d: int) -> None:
+        if self._lo is None:
+            self._lo = np.zeros((self.MAX_BOXES, d), dtype=np.int64)
+            self._hi = np.zeros((self.MAX_BOXES, d), dtype=np.int64)
+            self._bytes = np.zeros(self.MAX_BOXES, dtype=np.float64)
+
+    def charge(self, box, footprint_bytes: float) -> float:
+        """Traffic to make ``box`` resident given the current contents."""
+        if box is None or self.capacity <= 0.0:
+            return footprint_bytes
+        d = len(box)
+        self._ensure(d)
+        blo = np.fromiter((lo for lo, _ in box), dtype=np.int64, count=d)
+        bhi = np.fromiter((hi for _, hi in box), dtype=np.int64, count=d)
+        vol = int(np.prod(np.maximum(0, bhi - blo)))
+        best = 0.0
+        if self._count and vol:
+            # dead ring slots are zeroed (lo == hi == 0) and contribute
+            # zero-width intersections, so testing every slot is safe
+            w = np.minimum(self._hi, bhi) - np.maximum(self._lo, blo)
+            inter = np.prod(np.maximum(0, w), axis=1)
+            best = float(inter.max())
+        frac = best / vol if vol else 0.0
+        traffic = footprint_bytes * (1.0 - frac)
+        # insert into the FIFO ring
+        slot = self._head
+        if self._count == self.MAX_BOXES:
+            self._total -= self._bytes[slot]
+        else:
+            self._count += 1
+        self._lo[slot] = blo
+        self._hi[slot] = bhi
+        self._bytes[slot] = footprint_bytes
+        self._head = (self._head + 1) % self.MAX_BOXES
+        self._total += footprint_bytes
+        # evict oldest entries beyond capacity (zero them out)
+        while self._total > self.capacity and self._count > 0:
+            oldest = (self._head - self._count) % self.MAX_BOXES
+            self._total -= self._bytes[oldest]
+            self._bytes[oldest] = 0.0
+            self._lo[oldest] = 0
+            self._hi[oldest] = 0
+            self._count -= 1
+        return traffic
+
+    def charge_group(self, boxes: List, footprints: np.ndarray) -> np.ndarray:
+        """Vectorised charge for one barrier group's tasks.
+
+        Tasks of one group run concurrently on different cores, so all
+        overlaps are measured against the residency state at the
+        *group boundary*; the group's boxes are inserted afterwards.
+        Entries with ``None`` boxes are charged in full.
+        """
+        traffic = np.asarray(footprints, dtype=np.float64).copy()
+        if self.capacity <= 0.0 or not boxes:
+            return traffic
+        idx = [i for i, b in enumerate(boxes) if b is not None]
+        if not idx:
+            return traffic
+        d = len(boxes[idx[0]])
+        self._ensure(d)
+        glo = np.array([[lo for lo, _ in boxes[i]] for i in idx],
+                       dtype=np.int64)
+        ghi = np.array([[hi for _, hi in boxes[i]] for i in idx],
+                       dtype=np.int64)
+        vol = np.prod(np.maximum(0, ghi - glo), axis=1).astype(np.float64)
+        if self._count:
+            w = (np.minimum(ghi[:, None, :], self._hi[None, :, :])
+                 - np.maximum(glo[:, None, :], self._lo[None, :, :]))
+            inter = np.prod(np.maximum(0, w), axis=2)
+            best = inter.max(axis=1).astype(np.float64)
+        else:
+            best = np.zeros(len(idx))
+        with np.errstate(divide="ignore", invalid="ignore"):
+            frac = np.where(vol > 0, best / np.maximum(vol, 1), 0.0)
+        frac = np.clip(frac, 0.0, 1.0)
+        for k, i in enumerate(idx):
+            traffic[i] = footprints[i] * (1.0 - frac[k])
+        # insert the group's boxes (FIFO ring + capacity eviction)
+        for k, i in enumerate(idx):
+            slot = self._head
+            if self._count == self.MAX_BOXES:
+                self._total -= self._bytes[slot]
+            else:
+                self._count += 1
+            self._lo[slot] = glo[k]
+            self._hi[slot] = ghi[k]
+            self._bytes[slot] = footprints[i]
+            self._head = (self._head + 1) % self.MAX_BOXES
+            self._total += footprints[i]
+        while self._total > self.capacity and self._count > 0:
+            oldest = (self._head - self._count) % self.MAX_BOXES
+            self._total -= self._bytes[oldest]
+            self._bytes[oldest] = 0.0
+            self._lo[oldest] = 0
+            self._hi[oldest] = 0
+            self._count -= 1
+        return traffic
+
+
+def _lpt_makespan(times: List[float], p: int) -> Tuple[float, float]:
+    """LPT list-scheduling makespan and the max/mean load ratio."""
+    if not times:
+        return 0.0, 1.0
+    p = max(1, p)
+    loads = [0.0] * min(p, max(1, len(times)))
+    heap = [(0.0, i) for i in range(len(loads))]
+    heapq.heapify(heap)
+    for t in sorted(times, reverse=True):
+        load, i = heapq.heappop(heap)
+        load += t
+        loads[i] = load
+        heapq.heappush(heap, (load, i))
+    # idle cores (p > tasks) still participate in the barrier; the
+    # mean is over p cores so imbalance reflects them
+    total = sum(times)
+    mean = total / p
+    mx = max(loads)
+    return mx, (mx / mean if mean > 0 else 1.0)
+
+
+def simulate(
+    spec: StencilSpec,
+    schedule: RegionSchedule,
+    machine: MachineSpec,
+    cores: int,
+    taskgraph: Optional[TaskGraph] = None,
+) -> SimResult:
+    """Simulate a schedule on ``cores`` cores of ``machine``."""
+    if not 1 <= cores <= machine.cores:
+        raise ValueError(
+            f"cores must be in [1, {machine.cores}], got {cores}"
+        )
+    tg = taskgraph if taskgraph is not None else build_taskgraph(spec, schedule)
+    groups = tg.groups()
+    bw = machine.mem_bw_for(cores)
+    barrier = machine.barrier_s(cores) * schedule.group_sync_cost
+    sockets_used = min(machine.sockets, -(-cores // machine.cores_per_socket))
+    llc = LLCResidency(sockets_used * machine.llc_bytes)
+    cache_budget = machine.cache_per_task()
+    total_time = 0.0
+    total_traffic = 0.0
+    imbalances: List[float] = []
+    compute_bound = 0
+    memory_bound = 0
+    for gid in sorted(groups):
+        nodes = groups[gid]
+        times = []
+        boxes = []
+        footprints = np.empty(len(nodes))
+        streaming_extra = 0.0
+        for k, n in enumerate(nodes):
+            if n.footprint_bytes <= cache_budget:
+                boxes.append(n.bbox)
+                footprints[k] = float(n.footprint_bytes)
+            else:
+                boxes.append(None)
+                footprints[k] = 0.0
+                streaming_extra += task_traffic_bytes(n, spec, machine)
+            compute = (
+                machine.task_overhead_s * schedule.task_overhead_factor
+                + n.actions * machine.action_overhead_s
+                + n.flops / machine.flop_rate
+            )
+            times.append(compute)
+        g_traffic = float(
+            llc.charge_group(boxes, footprints).sum()
+        ) + streaming_extra
+        makespan, imb = _lpt_makespan(times, cores)
+        mem_time = g_traffic / bw
+        if makespan >= mem_time:
+            compute_bound += 1
+        else:
+            memory_bound += 1
+        total_time += max(makespan, mem_time) + barrier
+        total_traffic += g_traffic
+        imbalances.append(imb)
+    interior = 1
+    for n in schedule.shape:
+        interior *= n
+    useful_points = interior * schedule.steps
+    return SimResult(
+        scheme=schedule.scheme,
+        cores=cores,
+        time_s=total_time,
+        useful_flops=useful_points * spec.flops_per_point,
+        useful_points=useful_points,
+        total_points=schedule.total_points(),
+        traffic_bytes=total_traffic,
+        barriers=tg.num_barriers,
+        compute_bound_groups=compute_bound,
+        memory_bound_groups=memory_bound,
+        load_imbalance=float(np.mean(imbalances)) if imbalances else 1.0,
+    )
+
+
+def scaling_curve(
+    spec: StencilSpec,
+    schedule: RegionSchedule,
+    machine: MachineSpec,
+    core_counts: List[int],
+) -> List[SimResult]:
+    """Simulate the same schedule across a range of core counts.
+
+    The task graph is built once; only the scheduling changes — this
+    matches the paper's strong-scaling experiments (fixed problem,
+    1..24 cores).
+    """
+    tg = build_taskgraph(spec, schedule)
+    return [
+        simulate(spec, schedule, machine, p, taskgraph=tg)
+        for p in core_counts
+    ]

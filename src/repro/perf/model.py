@@ -1,0 +1,88 @@
+"""Closed-form performance models.
+
+These are the back-of-envelope laws the tiling literature (and the
+paper's §1/§5.2 analysis) relies on:
+
+* a naive sweep streams the whole grid every step — traffic
+  ``≈ 3 · itemsize · N^d`` bytes per step (read + write +
+  write-allocate);
+* a depth-``b`` time tile whose blocks fit in cache reads and writes
+  each point once per *phase* — traffic smaller by ``Θ(b)``;
+* the machine balance (bytes/flop it can feed) against a kernel's
+  arithmetic intensity decides compute- vs bandwidth-bound.
+
+The task-level model in :mod:`repro.machine.model` applies the same
+reasoning per task; these functions give the aggregate closed forms
+used for cross-checking and for the Figure 12 analysis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+import numpy as np
+
+from repro.machine.spec import MachineSpec
+from repro.stencils.spec import StencilSpec
+
+
+def grid_points(shape: Sequence[int]) -> int:
+    n = 1
+    for s in shape:
+        n *= int(s)
+    return n
+
+
+def arithmetic_intensity(spec: StencilSpec, cached: bool = True) -> float:
+    """Flops per byte of memory traffic for one point update.
+
+    ``cached=True`` assumes neighbouring loads hit in cache (the
+    streaming regime: 3 × itemsize bytes per point); ``cached=False``
+    charges every neighbour load (the worst case).
+    """
+    itemsize = np.dtype(spec.dtype).itemsize
+    if cached:
+        bytes_per_point = 3.0 * itemsize
+    else:
+        bytes_per_point = (spec.num_neighbors + 2.0) * itemsize
+    return spec.flops_per_point / bytes_per_point
+
+
+def machine_balance(machine: MachineSpec, cores: int) -> float:
+    """Flops the machine can execute per byte it can stream."""
+    return (cores * machine.flop_rate) / machine.mem_bw_for(cores)
+
+
+def naive_traffic_bytes(spec: StencilSpec, shape: Sequence[int],
+                        steps: int) -> float:
+    """Memory traffic of ``steps`` naive sweeps (grid ≫ cache)."""
+    itemsize = np.dtype(spec.dtype).itemsize
+    return 3.0 * itemsize * grid_points(shape) * steps
+
+
+def timetile_traffic_bytes(spec: StencilSpec, shape: Sequence[int],
+                           steps: int, b: int) -> float:
+    """Memory traffic with depth-``b`` cache-resident time tiles.
+
+    Each phase of ``b`` steps touches every point once for reading and
+    once for writing back (2 × itemsize per point per phase) — the
+    ``Θ(b)``-fold reduction temporal tiling buys, matching the similar
+    cache complexity the paper reports for its scheme and Pluto
+    (Fig. 12).
+    """
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    itemsize = np.dtype(spec.dtype).itemsize
+    phases = math.ceil(steps / b)
+    return 2.0 * itemsize * grid_points(shape) * phases
+
+
+def roofline_time_s(machine: MachineSpec, cores: int, flops: float,
+                    traffic_bytes: float) -> float:
+    """Roofline lower bound on execution time."""
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    compute = flops / (cores * machine.flop_rate)
+    memory = traffic_bytes / machine.mem_bw_for(cores)
+    return max(compute, memory)

@@ -1,0 +1,39 @@
+"""Wall-clock measurement of real (NumPy) schedule execution.
+
+Used by the pytest-benchmark suite: on this substrate the kernels are
+vectorised NumPy region updates rather than compiled C, so absolute
+numbers are not comparable to the paper's, but relative costs between
+schemes on the *same* substrate are still informative (loop/dispatch
+overhead per task, cache behaviour of block traversals).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Tuple
+
+import numpy as np
+
+from repro.runtime.schedule import RegionSchedule, execute_schedule
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec
+
+
+def time_schedule(spec: StencilSpec, schedule: RegionSchedule,
+                  seed: int = 0) -> Tuple[float, np.ndarray]:
+    """Execute a schedule once on a fresh grid; returns (seconds, out)."""
+    if schedule.private_tasks:
+        from repro.baselines.overlapped import execute_overlapped as runner
+    else:
+        runner = execute_schedule
+    grid = Grid(spec, schedule.shape, init="random", seed=seed)
+    t0 = time.perf_counter()
+    out = runner(spec, grid, schedule)
+    return time.perf_counter() - t0, out
+
+
+def time_executor(fn: Callable[[], object]) -> float:
+    """Time one invocation of an arbitrary executor closure."""
+    t0 = time.perf_counter()
+    fn()
+    return time.perf_counter() - t0

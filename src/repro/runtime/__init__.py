@@ -1,0 +1,45 @@
+"""Task-level runtime substrate.
+
+Every tiling scheme in :mod:`repro` — the tessellation and all the
+baselines — compiles to the same representation: a
+:class:`~repro.runtime.schedule.RegionSchedule`, an ordered list of
+tasks, each a sequence of ``(time step, hyper-rectangle)`` actions,
+partitioned into *barrier groups* (tasks of one group are mutually
+independent and may run concurrently).
+
+On top of that one representation sit:
+
+* a sequential executor (:func:`~repro.runtime.schedule.execute_schedule`)
+  used for correctness validation of every scheme;
+* a threaded executor (:mod:`~repro.runtime.threadpool`) demonstrating
+  real shared-memory parallel execution (NumPy releases the GIL inside
+  region applications);
+* the task-graph analysis (:mod:`~repro.runtime.taskgraph`) feeding the
+  simulated machine — work, span, concurrency profiles, footprints.
+"""
+
+from repro.runtime.schedule import (
+    RegionAction,
+    ScheduledTask,
+    RegionSchedule,
+    execute_schedule,
+    schedule_stats,
+    verify_schedule,
+)
+from repro.runtime.taskgraph import TaskGraph, TaskNode, build_taskgraph
+from repro.runtime.threadpool import execute_threaded
+from repro.runtime.levelize import levelize
+
+__all__ = [
+    "RegionAction",
+    "ScheduledTask",
+    "RegionSchedule",
+    "execute_schedule",
+    "schedule_stats",
+    "verify_schedule",
+    "TaskGraph",
+    "TaskNode",
+    "build_taskgraph",
+    "execute_threaded",
+    "levelize",
+]

@@ -1,0 +1,63 @@
+"""Threaded execution of region schedules.
+
+Demonstrates that the barrier-group structure really is parallel:
+tasks of one group are submitted to a thread pool together and the
+main thread waits (the barrier) before starting the next group.  NumPy
+releases the GIL inside the vectorised region updates, so on a
+multi-core machine groups genuinely overlap; on a single-core machine
+this path exercises exactly the same code and ordering guarantees.
+
+Correctness relies on the schemes' independence guarantees: tasks in
+one group touch disjoint regions (tessellation, diamond, skewed), or
+overlap only with *identical-value* writes (overlapped tiling), so no
+synchronisation beyond the barrier is needed — the paper's
+``#pragma omp parallel for``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor, wait
+import numpy as np
+
+from repro.runtime.schedule import RegionSchedule, ScheduledTask
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec
+
+
+def _run_task(spec: StencilSpec, grid: Grid, task: ScheduledTask) -> int:
+    pts = 0
+    for a in task.actions:
+        spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
+        pts += a.points
+    return pts
+
+
+def execute_threaded(
+    spec: StencilSpec,
+    grid: Grid,
+    schedule: RegionSchedule,
+    num_threads: int = 4,
+) -> np.ndarray:
+    """Execute a schedule with ``num_threads`` worker threads.
+
+    Returns the interior at time ``schedule.steps``.
+    """
+    if num_threads < 1:
+        raise ValueError(f"num_threads must be >= 1, got {num_threads}")
+    if spec.is_periodic:
+        raise ValueError("region schedules assume non-periodic boundaries")
+    if grid.shape != schedule.shape:
+        raise ValueError(
+            f"grid shape {grid.shape} != schedule shape {schedule.shape}"
+        )
+    groups = schedule.groups()
+    with ThreadPoolExecutor(max_workers=num_threads) as pool:
+        for gid in sorted(groups):
+            futures = [
+                pool.submit(_run_task, spec, grid, task)
+                for task in groups[gid]
+            ]
+            done, _ = wait(futures)
+            for f in done:
+                f.result()  # propagate exceptions
+    return grid.interior(schedule.steps)

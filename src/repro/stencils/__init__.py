@@ -1,0 +1,58 @@
+"""Stencil kernel substrate.
+
+This subpackage defines the stencil abstraction used by every tiling
+scheme in :mod:`repro`:
+
+* :class:`~repro.stencils.spec.StencilSpec` — immutable description of a
+  Jacobi stencil (dimensionality, neighbour offsets, slopes, boundary
+  condition) plus the operator that applies one time step to a region.
+* :mod:`~repro.stencils.library` — the seven benchmark kernels evaluated
+  in the paper (Table 4): Heat-1D, 1d5p, Heat-2D, 2d9p, Game of Life,
+  Heat-3D and 3d27p.
+* :mod:`~repro.stencils.grid` — halo-padded grid allocation and
+  initialisation helpers.
+* :mod:`~repro.stencils.reference` — the naive full-grid reference sweep
+  every tiled executor is validated against.
+"""
+
+from repro.stencils.spec import StencilSpec, Region, full_region
+from repro.stencils.operators import (
+    StencilOperator,
+    LinearStencilOperator,
+    GameOfLifeOperator,
+)
+from repro.stencils.library import (
+    heat1d,
+    d1p5,
+    heat2d,
+    d2p9,
+    game_of_life,
+    heat3d,
+    d3p27,
+    get_stencil,
+    STENCIL_REGISTRY,
+)
+from repro.stencils.grid import Grid, make_grid
+from repro.stencils.reference import reference_sweep, reference_step
+
+__all__ = [
+    "StencilSpec",
+    "Region",
+    "full_region",
+    "StencilOperator",
+    "LinearStencilOperator",
+    "GameOfLifeOperator",
+    "heat1d",
+    "d1p5",
+    "heat2d",
+    "d2p9",
+    "game_of_life",
+    "heat3d",
+    "d3p27",
+    "get_stencil",
+    "STENCIL_REGISTRY",
+    "Grid",
+    "make_grid",
+    "reference_sweep",
+    "reference_step",
+]

@@ -1,0 +1,184 @@
+"""Custom stencil builders beyond the seven paper benchmarks.
+
+The tessellation framework handles "all kinds of Jacobi stencils"
+(§3.6); these builders construct them:
+
+* :func:`custom_star` / :func:`custom_box` — arbitrary dimension and
+  order with distance-classed coefficients;
+* :func:`anisotropic_star` — different order per axis (the per-axis
+  slopes the coarsened lattice of §4.2 is designed around);
+* :func:`variable_coefficient` — per-point coefficient fields
+  (heterogeneous-media heat equations), implemented as a dedicated
+  operator that all executors consume unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.stencils.operators import StencilOperator, _region_slices
+from repro.stencils.spec import StencilSpec
+
+
+def _classed_coeffs(offsets, weights_by_class: Dict[int, float]):
+    coeffs = []
+    for off in offsets:
+        cls = sum(1 for c in off if c != 0)
+        if cls not in weights_by_class:
+            raise ValueError(
+                f"no weight for offset class {cls} (offset {off})"
+            )
+        coeffs.append(weights_by_class[cls])
+    return coeffs
+
+
+def custom_star(ndim: int, order: int,
+                center: float = 0.5,
+                neighbor: float | None = None,
+                boundary: str = "dirichlet") -> StencilSpec:
+    """Star stencil of arbitrary dimension and order.
+
+    Neighbour weights default to splitting ``1 - center`` equally so a
+    constant field stays fixed (stability).
+    """
+    from repro.stencils.operators import LinearStencilOperator, star_offsets
+
+    offsets = star_offsets(ndim, order)
+    taps = len(offsets) - 1
+    if neighbor is None:
+        neighbor = (1.0 - center) / taps
+    coeffs = [center] + [neighbor] * taps
+    op = LinearStencilOperator(offsets, coeffs)
+    return StencilSpec(f"star{ndim}d-o{order}", ndim, op, shape="star",
+                       boundary=boundary)
+
+
+def custom_box(ndim: int, order: int = 1,
+               weights_by_class: Dict[int, float] | None = None,
+               boundary: str = "dirichlet") -> StencilSpec:
+    """Box stencil with per-distance-class weights.
+
+    ``weights_by_class[k]`` weights offsets with ``k`` non-zero
+    components; defaults normalise to a mass-conserving average.
+    """
+    from repro.stencils.operators import LinearStencilOperator, box_offsets
+
+    offsets = box_offsets(ndim, order)
+    if weights_by_class is None:
+        # count offsets per class, split mass 50% centre / 50% rest
+        counts: Dict[int, int] = {}
+        for off in offsets:
+            cls = sum(1 for c in off if c != 0)
+            counts[cls] = counts.get(cls, 0) + 1
+        weights_by_class = {0: 0.5}
+        others = len(offsets) - 1
+        for cls in counts:
+            if cls != 0:
+                weights_by_class[cls] = 0.5 / others
+    coeffs = _classed_coeffs(offsets, weights_by_class)
+    op = LinearStencilOperator(offsets, coeffs)
+    return StencilSpec(f"box{ndim}d-o{order}", ndim, op, shape="box",
+                       boundary=boundary)
+
+
+def anisotropic_star(orders: Sequence[int], center: float = 0.5,
+                     boundary: str = "dirichlet") -> StencilSpec:
+    """Star stencil with a different order along each axis.
+
+    E.g. ``orders=(2, 1)``: 2nd order in x, 1st in y — the per-axis
+    slopes exercise the anisotropic supernode handling of §3.6.
+    """
+    from repro.stencils.operators import LinearStencilOperator
+
+    ndim = len(orders)
+    if ndim < 1 or any(o < 1 for o in orders):
+        raise ValueError(f"bad orders {orders}")
+    offsets = [(0,) * ndim]
+    for j, o in enumerate(orders):
+        for k in range(1, o + 1):
+            for sgn in (-1, 1):
+                off = [0] * ndim
+                off[j] = sgn * k
+                offsets.append(tuple(off))
+    taps = len(offsets) - 1
+    coeffs = [center] + [(1.0 - center) / taps] * taps
+    op = LinearStencilOperator(offsets, coeffs)
+    name = "aniso" + "x".join(str(o) for o in orders)
+    return StencilSpec(name, ndim, op, shape="star", boundary=boundary)
+
+
+class VariableCoefficientOperator(StencilOperator):
+    """Per-point coefficient fields: ``dst[x] = Σ_k C_k[x] · src[x+o_k]``.
+
+    ``coeff_fields`` maps each offset to a full-interior-shaped array.
+    Used for heterogeneous media; the tessellation machinery is
+    oblivious to it (the operator contract is unchanged).
+    """
+
+    def __init__(self, offsets, coeff_fields: Sequence[np.ndarray]):
+        super().__init__(offsets)
+        if len(coeff_fields) != len(self.offsets):
+            raise ValueError("one coefficient field per offset required")
+        shapes = {f.shape for f in coeff_fields}
+        if len(shapes) != 1:
+            raise ValueError("coefficient fields must share one shape")
+        self.coeff_fields = [np.asarray(f, dtype=np.float64)
+                             for f in coeff_fields]
+        self.field_shape = coeff_fields[0].shape
+        if len(self.field_shape) != self.ndim:
+            raise ValueError("coefficient field rank != offset rank")
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.float64)
+
+    @property
+    def flops_per_point(self) -> int:
+        return 2 * len(self.offsets) - 1
+
+    def apply(self, src, dst, region, halo) -> None:
+        out = dst[_region_slices(region, halo, (0,) * self.ndim)]
+        core = tuple(slice(lo, hi) for lo, hi in region)
+        first = True
+        for off, field in zip(self.offsets, self.coeff_fields):
+            view = src[_region_slices(region, halo, off)]
+            c = field[core]
+            if first:
+                np.multiply(view, c, out=out)
+                first = False
+            else:
+                out += view * c
+
+    def apply_wrapped(self, src: np.ndarray) -> np.ndarray:
+        if src.shape != self.field_shape:
+            raise ValueError("periodic apply needs full-grid input")
+        acc = np.zeros_like(src)
+        for off, field in zip(self.offsets, self.coeff_fields):
+            acc += field * np.roll(src, shift=[-o for o in off],
+                                   axis=range(self.ndim))
+        return acc
+
+
+def variable_coefficient(
+    ndim: int,
+    shape: Sequence[int],
+    rng_seed: int = 0,
+    boundary: str = "dirichlet",
+) -> StencilSpec:
+    """A heterogeneous-media heat stencil on a fixed interior shape.
+
+    Coefficients form a random mass-conserving average per point
+    (positive weights summing to 1), so constant fields stay fixed.
+    """
+    from repro.stencils.operators import star_offsets
+
+    shape = tuple(int(n) for n in shape)
+    offsets = star_offsets(ndim, 1)
+    rng = np.random.default_rng(rng_seed)
+    raw = rng.random((len(offsets),) + shape) + 0.1
+    raw /= raw.sum(axis=0, keepdims=True)
+    op = VariableCoefficientOperator(offsets, list(raw))
+    return StencilSpec(f"varcoef{ndim}d", ndim, op, shape="star",
+                       boundary=boundary)

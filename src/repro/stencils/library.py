@@ -1,0 +1,110 @@
+"""The benchmark kernels of the paper (Table 4).
+
+Four star stencils — Heat-1D (3-point), 1d5p (order-2 star), Heat-2D
+(5-point), Heat-3D (7-point) — and three box stencils — 2d9p, Game of
+Life and 3d27p.  All are included in the Pluto and Pochoir benchmark
+suites the paper compares against; the coefficient choices follow the
+standard heat-equation discretisations used there.
+
+Every factory accepts a ``boundary`` keyword so the same kernel can be
+run with Dirichlet (the paper's configuration) or periodic boundaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.stencils.operators import (
+    GameOfLifeOperator,
+    LinearStencilOperator,
+    box_offsets,
+    star_offsets,
+)
+from repro.stencils.spec import StencilSpec
+
+
+def heat1d(boundary: str = "dirichlet") -> StencilSpec:
+    """Heat-1D: 3-point star, ``u' = 0.125 u_l + 0.75 u_c + 0.125 u_r``."""
+    op = LinearStencilOperator(
+        offsets=[(-1,), (0,), (1,)],
+        coeffs=[0.125, 0.75, 0.125],
+    )
+    return StencilSpec("heat1d", 1, op, shape="star", boundary=boundary)
+
+
+def d1p5(boundary: str = "dirichlet") -> StencilSpec:
+    """1d5p: order-2 1D star (5-point), symmetric smoothing weights."""
+    op = LinearStencilOperator(
+        offsets=[(-2,), (-1,), (0,), (1,), (2,)],
+        coeffs=[0.0625, 0.25, 0.375, 0.25, 0.0625],
+    )
+    return StencilSpec("1d5p", 1, op, shape="star", boundary=boundary)
+
+
+def heat2d(boundary: str = "dirichlet") -> StencilSpec:
+    """Heat-2D: 5-point star, ``0.125`` per face and ``0.5`` centre."""
+    op = LinearStencilOperator(
+        offsets=[(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)],
+        coeffs=[0.5, 0.125, 0.125, 0.125, 0.125],
+    )
+    return StencilSpec("heat2d", 2, op, shape="star", boundary=boundary)
+
+
+def d2p9(boundary: str = "dirichlet") -> StencilSpec:
+    """2d9p: 9-point 2D box with centre/face/corner coefficient classes."""
+    offsets = box_offsets(2, 1)
+    coeffs = []
+    for off in offsets:
+        nz = sum(1 for c in off if c != 0)
+        coeffs.append({0: 0.5, 1: 0.1, 2: 0.025}[nz])
+    op = LinearStencilOperator(offsets, coeffs)
+    return StencilSpec("2d9p", 2, op, shape="box", boundary=boundary)
+
+
+def game_of_life(boundary: str = "dirichlet") -> StencilSpec:
+    """Conway's Game of Life — non-linear 2D 9-point box stencil."""
+    return StencilSpec(
+        "life", 2, GameOfLifeOperator(), shape="box", boundary=boundary
+    )
+
+
+def heat3d(boundary: str = "dirichlet") -> StencilSpec:
+    """Heat-3D: 7-point star, ``0.1`` per face and ``0.4`` centre."""
+    offsets = star_offsets(3, 1)
+    coeffs = [0.4] + [0.1] * 6
+    op = LinearStencilOperator(offsets, coeffs)
+    return StencilSpec("heat3d", 3, op, shape="star", boundary=boundary)
+
+
+def d3p27(boundary: str = "dirichlet") -> StencilSpec:
+    """3d27p: 27-point 3D box, centre/face/edge/corner coefficients."""
+    offsets = box_offsets(3, 1)
+    coeffs = []
+    for off in offsets:
+        nz = sum(1 for c in off if c != 0)
+        coeffs.append({0: 0.4, 1: 0.06, 2: 0.015, 3: 0.0075}[nz])
+    op = LinearStencilOperator(offsets, coeffs)
+    return StencilSpec("3d27p", 3, op, shape="box", boundary=boundary)
+
+
+#: All seven paper benchmarks keyed by canonical name.
+STENCIL_REGISTRY: Dict[str, Callable[..., StencilSpec]] = {
+    "heat1d": heat1d,
+    "1d5p": d1p5,
+    "heat2d": heat2d,
+    "2d9p": d2p9,
+    "life": game_of_life,
+    "heat3d": heat3d,
+    "3d27p": d3p27,
+}
+
+
+def get_stencil(name: str, boundary: str = "dirichlet") -> StencilSpec:
+    """Look up a paper benchmark kernel by name (see STENCIL_REGISTRY)."""
+    try:
+        factory = STENCIL_REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown stencil {name!r}; available: {sorted(STENCIL_REGISTRY)}"
+        ) from None
+    return factory(boundary=boundary)

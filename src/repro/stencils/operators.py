@@ -1,0 +1,224 @@
+"""Stencil operators — the code that applies one time step to a region.
+
+Two operator families cover the paper's whole benchmark suite:
+
+* :class:`LinearStencilOperator` — weighted sum over a fixed set of
+  neighbour offsets (all the heat and N-point kernels);
+* :class:`GameOfLifeOperator` — the non-linear Conway rule (the paper's
+  "game of life" box-stencil benchmark, Fig. 9).
+
+Operators are deliberately dumb about tiling: they update one
+hyper-rectangular region of a halo-padded array and know nothing about
+time tiles, stages or blocks.  That separation mirrors the paper's
+OpenBLAS-inspired design (§1): a simple parallel framework of
+lightweight loop conditions around a plain in-core kernel.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence, Tuple
+
+import numpy as np
+
+Offset = Tuple[int, ...]
+
+
+def _region_slices(
+    region: Sequence[Tuple[int, int]],
+    halo: Sequence[int],
+    offset: Sequence[int],
+) -> Tuple[slice, ...]:
+    """Slices into a padded array for ``region`` shifted by ``offset``."""
+    return tuple(
+        slice(lo + h + o, hi + h + o)
+        for (lo, hi), h, o in zip(region, halo, offset)
+    )
+
+
+class StencilOperator(abc.ABC):
+    """Applies one Jacobi time step to a region of a padded array."""
+
+    #: Neighbour offsets read per update (must include the centre if read).
+    offsets: Tuple[Offset, ...]
+
+    def __init__(self, offsets: Sequence[Offset]):
+        offs = tuple(tuple(int(c) for c in o) for o in offsets)
+        if not offs:
+            raise ValueError("an operator needs at least one offset")
+        ndims = {len(o) for o in offs}
+        if len(ndims) != 1:
+            raise ValueError("all offsets must have the same rank")
+        if len(set(offs)) != len(offs):
+            raise ValueError("duplicate neighbour offsets")
+        self.offsets = offs
+
+    @property
+    def ndim(self) -> int:
+        return len(self.offsets[0])
+
+    @property
+    def slopes(self) -> Tuple[int, ...]:
+        """Max |offset| per dimension — the dependence-cone slope."""
+        return tuple(
+            max(abs(o[j]) for o in self.offsets) for j in range(self.ndim)
+        )
+
+    @property
+    @abc.abstractmethod
+    def dtype(self) -> np.dtype:
+        """Grid element dtype."""
+
+    @property
+    @abc.abstractmethod
+    def flops_per_point(self) -> int:
+        """Operations per point update (used by the machine model)."""
+
+    @abc.abstractmethod
+    def apply(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        region: Sequence[Tuple[int, int]],
+        halo: Sequence[int],
+    ) -> None:
+        """``dst[region] = step(src)`` on halo-padded ``src``/``dst``."""
+
+    @abc.abstractmethod
+    def apply_wrapped(self, src: np.ndarray) -> np.ndarray:
+        """Full-grid periodic step on an *unpadded* array (via wrap)."""
+
+
+class LinearStencilOperator(StencilOperator):
+    """Weighted-sum stencil: ``dst[x] = sum_k c_k * src[x + off_k]``.
+
+    Parameters
+    ----------
+    offsets:
+        Neighbour offsets (d-tuples).
+    coeffs:
+        One weight per offset.
+    dtype:
+        Grid dtype, default float64.
+    """
+
+    def __init__(
+        self,
+        offsets: Sequence[Offset],
+        coeffs: Sequence[float],
+        dtype: np.dtype | str = np.float64,
+    ):
+        super().__init__(offsets)
+        if len(coeffs) != len(self.offsets):
+            raise ValueError(
+                f"{len(coeffs)} coefficients for {len(self.offsets)} offsets"
+            )
+        self.coeffs = tuple(float(c) for c in coeffs)
+        self._dtype = np.dtype(dtype)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def flops_per_point(self) -> int:
+        # one multiply per tap plus (taps - 1) adds
+        return 2 * len(self.offsets) - 1
+
+    def apply(self, src, dst, region, halo) -> None:
+        out = dst[_region_slices(region, halo, (0,) * self.ndim)]
+        first = True
+        for off, c in zip(self.offsets, self.coeffs):
+            view = src[_region_slices(region, halo, off)]
+            if first:
+                np.multiply(view, c, out=out)
+                first = False
+            else:
+                # out += c * view without a second full temporary
+                out += view * c
+
+    def apply_wrapped(self, src: np.ndarray) -> np.ndarray:
+        acc = np.zeros_like(src)
+        for off, c in zip(self.offsets, self.coeffs):
+            acc += c * np.roll(src, shift=[-o for o in off], axis=range(self.ndim))
+        return acc
+
+
+def _neighbor_count(src_views) -> np.ndarray:
+    acc = src_views[0].astype(np.uint8).copy()
+    for v in src_views[1:]:
+        acc += v
+    return acc
+
+
+class GameOfLifeOperator(StencilOperator):
+    """Conway's Game of Life as a 2D 9-point box stencil on uint8 grids.
+
+    The rule is the standard B3/S23: a dead cell with exactly three live
+    neighbours is born; a live cell with two or three live neighbours
+    survives.  The paper runs it as one of its three box-stencil
+    benchmarks; being non-linear it exercises the operator abstraction
+    beyond weighted sums.
+    """
+
+    def __init__(self):
+        offsets = [
+            (i, j) for i in (-1, 0, 1) for j in (-1, 0, 1)
+        ]
+        super().__init__(offsets)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return np.dtype(np.uint8)
+
+    @property
+    def flops_per_point(self) -> int:
+        # 8 neighbour adds + rule evaluation, matching a tuned C kernel
+        return 12
+
+    def apply(self, src, dst, region, halo) -> None:
+        centre = src[_region_slices(region, halo, (0, 0))]
+        neigh = [
+            src[_region_slices(region, halo, off)]
+            for off in self.offsets
+            if off != (0, 0)
+        ]
+        n = _neighbor_count(neigh)
+        out = dst[_region_slices(region, halo, (0, 0))]
+        np.copyto(out, ((n == 3) | ((centre == 1) & (n == 2))).astype(np.uint8))
+
+    def apply_wrapped(self, src: np.ndarray) -> np.ndarray:
+        n = np.zeros(src.shape, dtype=np.uint8)
+        for off in self.offsets:
+            if off == (0, 0):
+                continue
+            n += np.roll(src, shift=[-o for o in off], axis=(0, 1))
+        return ((n == 3) | ((src == 1) & (n == 2))).astype(np.uint8)
+
+
+def star_offsets(ndim: int, order: int) -> Tuple[Offset, ...]:
+    """Offsets of a star stencil: centre plus ±1..±order along each axis."""
+    offs = [(0,) * ndim]
+    for j in range(ndim):
+        for k in range(1, order + 1):
+            for sgn in (-1, 1):
+                o = [0] * ndim
+                o[j] = sgn * k
+                offs.append(tuple(o))
+    return tuple(offs)
+
+
+def box_offsets(ndim: int, order: int = 1) -> Tuple[Offset, ...]:
+    """Offsets of a box stencil: the full ``(±order..0)^d`` neighbourhood."""
+    ranges = [range(-order, order + 1)] * ndim
+    out = []
+
+    def rec(prefix):
+        if len(prefix) == ndim:
+            out.append(tuple(prefix))
+            return
+        for v in ranges[len(prefix)]:
+            rec(prefix + [v])
+
+    rec([])
+    return tuple(out)

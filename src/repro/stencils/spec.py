@@ -1,0 +1,184 @@
+"""Stencil specification.
+
+A :class:`StencilSpec` captures everything the tiling machinery needs to
+know about a Jacobi stencil:
+
+* the *geometry* — dimensionality, neighbour offsets, per-dimension
+  slopes (how far the dependence cone spreads per time step), shape
+  classification (star vs box as in the paper §3.6);
+* the *operator* — how one time step maps the previous grid to the next
+  on an arbitrary hyper-rectangular region;
+* the *boundary condition* — Dirichlet (constant halo, the paper's
+  evaluated configuration) or periodic.
+
+Regions
+-------
+Throughout the package a *region* is a tuple of ``(lo, hi)`` pairs in
+interior coordinates: dimension ``j`` covers the half-open interval
+``[lo_j, hi_j)`` with ``0 <= lo_j <= hi_j <= N_j``.  Halo cells are
+addressed by the operators internally and never appear in regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.stencils.operators import StencilOperator
+
+#: A hyper-rectangular update region: one (lo, hi) half-open pair per dim.
+Region = Tuple[Tuple[int, int], ...]
+
+_VALID_BOUNDARIES = ("dirichlet", "periodic")
+_VALID_SHAPES = ("star", "box", "custom")
+
+
+def full_region(shape: Sequence[int]) -> Region:
+    """Region covering the whole interior of a grid with ``shape``."""
+    return tuple((0, int(n)) for n in shape)
+
+
+def region_size(region: Region) -> int:
+    """Number of grid points inside ``region`` (0 if empty in any dim)."""
+    total = 1
+    for lo, hi in region:
+        if hi <= lo:
+            return 0
+        total *= hi - lo
+    return total
+
+
+def clip_region(region: Region, shape: Sequence[int]) -> Region:
+    """Clip ``region`` to the interior box ``[0, N_j)`` of ``shape``."""
+    return tuple(
+        (max(0, lo), min(int(n), hi)) for (lo, hi), n in zip(region, shape)
+    )
+
+
+def region_is_empty(region: Region) -> bool:
+    """True if the region contains no points."""
+    return any(hi <= lo for lo, hi in region)
+
+
+@dataclass(frozen=True)
+class StencilSpec:
+    """Immutable description of a Jacobi stencil.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"heat2d"``, ``"3d27p"``, ...).
+    ndim:
+        Spatial dimensionality ``d``.
+    operator:
+        The :class:`~repro.stencils.operators.StencilOperator` applying
+        one time step on a region.
+    shape:
+        ``"star"`` (offsets along axes only), ``"box"`` (full
+        ``(±s/0)^d`` neighbourhood) or ``"custom"``.
+    boundary:
+        ``"dirichlet"`` (constant halo — what the paper evaluates) or
+        ``"periodic"``.
+    """
+
+    name: str
+    ndim: int
+    operator: StencilOperator
+    shape: str = "star"
+    boundary: str = "dirichlet"
+
+    def __post_init__(self) -> None:
+        if self.ndim < 1:
+            raise ValueError(f"ndim must be >= 1, got {self.ndim}")
+        if self.shape not in _VALID_SHAPES:
+            raise ValueError(f"unknown stencil shape {self.shape!r}")
+        if self.boundary not in _VALID_BOUNDARIES:
+            raise ValueError(f"unknown boundary condition {self.boundary!r}")
+        if self.operator.ndim != self.ndim:
+            raise ValueError(
+                f"operator dimensionality {self.operator.ndim} does not "
+                f"match spec ndim {self.ndim}"
+            )
+
+    # -- geometry ----------------------------------------------------
+
+    @property
+    def slopes(self) -> Tuple[int, ...]:
+        """Per-dimension dependence slope (max |offset| along each axis).
+
+        A slope of ``m`` in dimension ``j`` means an update at time
+        ``t+1`` may read points up to ``m`` away along ``j`` at time
+        ``t`` — the paper's ``XSLOPE``/``YSLOPE``.
+        """
+        return self.operator.slopes
+
+    @property
+    def order(self) -> int:
+        """Max slope over all dimensions (the stencil *order*)."""
+        return max(self.slopes)
+
+    @property
+    def halo(self) -> Tuple[int, ...]:
+        """Halo width needed per dimension (equals the slopes)."""
+        return self.slopes
+
+    @property
+    def offsets(self) -> Tuple[Tuple[int, ...], ...]:
+        """Neighbour offsets read by one update (includes centre)."""
+        return self.operator.offsets
+
+    @property
+    def num_neighbors(self) -> int:
+        """Number of points read per update (the "N-point" in names)."""
+        return len(self.offsets)
+
+    @property
+    def flops_per_point(self) -> int:
+        """Floating-point (or logical) operations per point update."""
+        return self.operator.flops_per_point
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element dtype of grids this stencil operates on."""
+        return self.operator.dtype
+
+    @property
+    def is_periodic(self) -> bool:
+        return self.boundary == "periodic"
+
+    # -- application -------------------------------------------------
+
+    def apply_region(
+        self, src: np.ndarray, dst: np.ndarray, region: Region
+    ) -> None:
+        """Advance ``region`` one time step: ``dst[region] = f(src)``.
+
+        ``src``/``dst`` are halo-padded arrays (padding = :attr:`halo`).
+        Points outside ``region`` in ``dst`` are untouched.  Empty
+        regions are a no-op.
+        """
+        if region_is_empty(region):
+            return
+        self.operator.apply(src, dst, region, self.halo)
+
+    def padded_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
+        """Allocation shape for an interior of ``shape`` plus halo."""
+        if len(shape) != self.ndim:
+            raise ValueError(
+                f"grid rank {len(shape)} does not match stencil ndim {self.ndim}"
+            )
+        return tuple(int(n) + 2 * h for n, h in zip(shape, self.halo))
+
+    def interior_slices(self, shape: Sequence[int]) -> Tuple[slice, ...]:
+        """Slices selecting the interior of a halo-padded array."""
+        return tuple(slice(h, h + int(n)) for n, h in zip(shape, self.halo))
+
+    def describe(self) -> str:
+        """One-line summary used by the bench harness."""
+        return (
+            f"{self.name}: {self.ndim}D {self.shape} stencil, "
+            f"{self.num_neighbors}-point, slopes={self.slopes}, "
+            f"{self.flops_per_point} flops/pt, {self.boundary} boundary"
+        )

@@ -1,0 +1,114 @@
+"""Tests for the Pochoir-style cache-oblivious trapezoid decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.cache_oblivious import (
+    Trap,
+    _try_space_cut,
+    trapezoid_schedule,
+)
+from repro.runtime import schedule_stats, verify_schedule
+from repro.stencils import (
+    d1p5,
+    d2p9,
+    d3p27,
+    game_of_life,
+    heat1d,
+    heat2d,
+    heat3d,
+)
+
+
+class TestTrap:
+    def test_interval_motion(self):
+        tr = Trap(2, 1, 10, -1)
+        assert tr.at(0) == (2, 10)
+        assert tr.at(3) == (5, 7)
+
+    def test_validity(self):
+        assert Trap(0, 0, 4, 0).valid(3)
+        assert not Trap(0, 2, 4, -2).valid(3)  # crosses over
+
+
+class TestSpaceCut:
+    def test_declines_narrow(self):
+        assert _try_space_cut(Trap(0, 0, 10, 0), h=8, sigma=1,
+                              base_width=4) is None
+
+    def test_cut_produces_valid_pair(self):
+        tr = Trap(0, 0, 100, 0)
+        pieces = _try_space_cut(tr, h=5, sigma=1, base_width=4)
+        assert pieces is not None
+        closing, opening = pieces
+        assert closing.valid(5) and opening.valid(5)
+        assert closing.x1 == opening.x0  # shared cut line
+        assert closing.dx1 == -1 and opening.dx0 == -1
+
+    def test_cut_respects_slope(self):
+        pieces = _try_space_cut(Trap(0, 0, 200, 0), h=5, sigma=2,
+                                base_width=4)
+        assert pieces[0].dx1 == -2
+
+
+class TestScheduleValidity:
+    @pytest.mark.parametrize("factory,shape", [
+        (heat1d, (60,)), (d1p5, (80,)),
+        (heat2d, (28, 26)), (d2p9, (24, 25)), (game_of_life, (22, 22)),
+        (heat3d, (14, 13, 12)), (d3p27, (12, 12, 12)),
+    ])
+    def test_all_kernels(self, factory, shape):
+        spec = factory()
+        sched = trapezoid_schedule(spec, shape, 7, base_dt=2,
+                                   base_widths=(8,) * spec.ndim)
+        assert verify_schedule(spec, sched)
+
+    @given(st.integers(20, 90), st.integers(0, 15), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_1d(self, n, steps, base_dt):
+        spec = heat1d()
+        sched = trapezoid_schedule(spec, (n,), steps, base_dt=base_dt)
+        assert verify_schedule(spec, sched, seed=n)
+
+    def test_work_conservation(self):
+        spec = heat2d()
+        sched = trapezoid_schedule(spec, (30, 32), 9, base_dt=3)
+        st = schedule_stats(sched)
+        assert st["total_point_updates"] == 30 * 32 * 9
+        assert st["redundancy"] == 0.0
+
+    def test_recursion_produces_many_groups(self):
+        """The structural barrier count grows with the recursion — the
+        synchronisation overhead of §2.2."""
+        spec = heat2d()
+        sched = trapezoid_schedule(spec, (64, 64), 16, base_dt=2,
+                                   base_widths=(8, 8))
+        assert sched.num_groups > 16  # far more than one per step? no:
+        # at least one group per time level is unavoidable; recursion
+        # adds the space-cut group layers on top
+
+    def test_zero_steps(self):
+        spec = heat1d()
+        sched = trapezoid_schedule(spec, (20,), 0)
+        assert sched.tasks == []
+
+    def test_bad_args(self):
+        spec = heat1d()
+        with pytest.raises(ValueError):
+            trapezoid_schedule(spec, (20,), -1)
+        with pytest.raises(ValueError):
+            trapezoid_schedule(spec, (20,), 4, base_dt=0)
+        with pytest.raises(ValueError):
+            trapezoid_schedule(spec, (20, 20), 4)
+
+    def test_time_cut_only_when_narrow(self):
+        """A domain narrower than any cut threshold still decomposes
+        (pure time cuts down to the base case)."""
+        spec = heat1d()
+        sched = trapezoid_schedule(spec, (6,), 9, base_dt=2,
+                                   base_widths=(64,))
+        assert verify_schedule(spec, sched)
+        # no spatial parallelism possible: every group is one task
+        assert all(len(ts) == 1 for ts in sched.groups().values())

@@ -1,0 +1,122 @@
+"""Tests for the Pluto-style diamond and Girih-style MWD baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import diamond_lattice, diamond_schedule, mwd_schedule
+from repro.baselines.diamond import default_cut_dims
+from repro.runtime import schedule_stats, verify_schedule
+from repro.stencils import d1p5, game_of_life, heat1d, heat2d, heat3d
+
+
+class TestDiamond:
+    def test_default_cut_dims(self):
+        assert default_cut_dims(1) == (0,)
+        assert default_cut_dims(2) == (0,)
+        assert default_cut_dims(3) == (0, 1)
+
+    @pytest.mark.parametrize("factory,shape,b", [
+        (heat1d, (40,), 4), (d1p5, (60,), 3),
+        (heat2d, (20, 18), 3), (heat3d, (11, 10, 9), 2),
+        (game_of_life, (16, 15), 2),
+    ])
+    def test_valid_default_cuts(self, factory, shape, b):
+        spec = factory()
+        assert verify_schedule(
+            spec, diamond_schedule(spec, shape, b, 2 * b + 1)
+        )
+
+    def test_valid_all_cut_variants_2d(self):
+        spec = heat2d()
+        for cuts in [(0,), (1,), (0, 1)]:
+            sched = diamond_schedule(spec, (20, 22), 2, 6, cut_dims=cuts)
+            assert verify_schedule(spec, sched)
+
+    def test_groups_per_phase(self):
+        """#cut axes + 1 diamond families per phase."""
+        spec = heat3d()
+        s1 = diamond_schedule(spec, (16, 16, 16), 2, 4, cut_dims=(0,))
+        s2 = diamond_schedule(spec, (16, 16, 16), 2, 4, cut_dims=(0, 1))
+        assert s1.num_groups == 2 * 2
+        assert s2.num_groups == 3 * 2
+
+    def test_concurrent_start_width(self):
+        """All tiles of a family are in one barrier group."""
+        spec = heat1d()
+        s = diamond_schedule(spec, (120,), 3, 3)
+        st = schedule_stats(s)
+        assert st["max_group_width"] >= 120 // 6 - 1
+
+    def test_no_redundancy(self):
+        spec = heat2d()
+        st = schedule_stats(diamond_schedule(spec, (24, 24), 2, 6))
+        assert st["redundancy"] == 0.0
+
+    def test_lattice_slope_respected(self):
+        spec = d1p5()
+        lat = diamond_lattice(spec, (60,), 3)
+        assert lat.profiles[0].sigma == 2
+
+    def test_bad_cut_dims(self):
+        spec = heat2d()
+        with pytest.raises(ValueError):
+            diamond_lattice(spec, (10, 10), 2, cut_dims=(5,))
+        with pytest.raises(ValueError):
+            diamond_lattice(spec, (10, 10), 2, cut_dims=())
+        with pytest.raises(ValueError):
+            diamond_schedule(spec, (10, 10), 2, 4, cut_dims=(0,), cut_dim=0)
+
+    def test_shape_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            diamond_lattice(heat2d(), (10,), 2)
+
+
+class TestMWD:
+    @pytest.mark.parametrize("factory,shape,b", [
+        (heat1d, (40,), 3), (heat2d, (18, 16), 2),
+        (heat3d, (10, 11, 9), 2),
+    ])
+    def test_valid(self, factory, shape, b):
+        spec = factory()
+        sched = mwd_schedule(spec, shape, b, 2 * b + 1, chunks=3,
+                             concurrent_tiles=2)
+        assert verify_schedule(spec, sched)
+
+    @given(st.integers(1, 4), st.integers(1, 3))
+    @settings(max_examples=12, deadline=None)
+    def test_chunk_and_batch_invariance(self, chunks, tiles):
+        """Result identical for any chunk/batch split (same updates)."""
+        spec = heat2d()
+        sched = mwd_schedule(spec, (17, 15), 2, 5, chunks=chunks,
+                             concurrent_tiles=tiles)
+        assert verify_schedule(spec, sched)
+
+    def test_cheap_sync_flag(self):
+        spec = heat1d()
+        sched = mwd_schedule(spec, (30,), 2, 4)
+        assert sched.group_sync_cost < 1.0
+
+    def test_step_locked_groups(self):
+        """Within one batch group, all actions share one time step."""
+        spec = heat2d()
+        sched = mwd_schedule(spec, (20, 20), 2, 4, chunks=2,
+                             concurrent_tiles=8)
+        for tasks in sched.groups().values():
+            ts = {a.t for task in tasks for a in task.actions}
+            assert len(ts) == 1
+
+    def test_work_conservation(self):
+        spec = heat2d()
+        st = schedule_stats(mwd_schedule(spec, (20, 21), 2, 5))
+        assert st["total_point_updates"] == 20 * 21 * 5
+        assert st["redundancy"] == 0.0
+
+    def test_bad_args(self):
+        spec = heat1d()
+        with pytest.raises(ValueError):
+            mwd_schedule(spec, (20,), 2, -1)
+        with pytest.raises(ValueError):
+            mwd_schedule(spec, (20,), 2, 4, chunks=0)
+        with pytest.raises(ValueError):
+            mwd_schedule(spec, (20,), 2, 4, chunk_dim=3)

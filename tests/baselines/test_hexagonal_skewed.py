@@ -1,0 +1,103 @@
+"""Tests for the hexagonal and pipelined time-skewing baselines."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import hexagonal_lattice, hexagonal_schedule, skewed_schedule
+from repro.runtime import schedule_stats, verify_schedule
+from repro.stencils import d1p5, game_of_life, heat1d, heat2d, heat3d
+
+
+class TestHexagonal:
+    @pytest.mark.parametrize("factory,shape,b,w", [
+        (heat1d, (80,), 3, 4), (d1p5, (90,), 2, 6),
+        (heat2d, (30, 24), 2, 5), (heat3d, (14, 10, 9), 2, 4),
+        (game_of_life, (26, 22), 2, 5),
+    ])
+    def test_valid(self, factory, shape, b, w):
+        spec = factory()
+        sched = hexagonal_schedule(spec, shape, b, 2 * b + 1, hex_width=w)
+        assert verify_schedule(spec, sched)
+
+    def test_flat_edges_have_hex_width(self):
+        spec = heat1d()
+        lat = hexagonal_lattice(spec, (100,), 3, hex_width=7)
+        prof = lat.profiles[0]
+        assert prof.core_width == 7
+        widths = {hi - lo for lo, hi in prof.plateaus()}
+        assert widths == {7}  # plateau == flat edge == core width
+
+    def test_wider_hexes_fewer_tasks(self):
+        spec = heat1d()
+        narrow = hexagonal_schedule(spec, (200,), 3, 9, hex_width=2)
+        wide = hexagonal_schedule(spec, (200,), 3, 9, hex_width=10)
+        assert len(wide.tasks) < len(narrow.tasks)
+
+    def test_no_redundancy(self):
+        spec = heat2d()
+        st_ = schedule_stats(
+            hexagonal_schedule(spec, (24, 20), 2, 6, hex_width=4)
+        )
+        assert st_["redundancy"] == 0.0
+
+    @given(st.integers(30, 90), st.integers(1, 3), st.integers(1, 8),
+           st.integers(0, 9))
+    @settings(max_examples=20, deadline=None)
+    def test_random_1d(self, n, b, w, steps):
+        spec = heat1d()
+        sched = hexagonal_schedule(spec, (n,), b, steps, hex_width=w)
+        assert verify_schedule(spec, sched, seed=n)
+
+    def test_bad_width(self):
+        with pytest.raises(ValueError):
+            hexagonal_schedule(heat1d(), (40,), 2, 4, hex_width=0)
+
+
+class TestSkewed:
+    @pytest.mark.parametrize("factory,shape,tw", [
+        (heat1d, (80,), 8), (d1p5, (60,), 4),
+        (heat2d, (26, 22), 6), (game_of_life, (20, 20), 5),
+        (heat3d, (12, 10, 9), 4),
+    ])
+    def test_valid(self, factory, shape, tw):
+        spec = factory()
+        assert verify_schedule(spec, skewed_schedule(spec, shape, 7, tw))
+
+    def test_pipelined_startup(self):
+        """Early wavefronts are narrow — the paper's §2.1 criticism."""
+        spec = heat1d()
+        sched = skewed_schedule(spec, (120,), 10, 10)
+        groups = sched.groups()
+        first = len(groups[0])
+        widest = max(len(ts) for ts in groups.values())
+        assert first == 1
+        assert widest > 2 * first
+
+    def test_wavefront_group_law(self):
+        """tile k's step s sits in group 2s + k exactly."""
+        spec = heat1d()
+        sched = skewed_schedule(spec, (30,), 4, 10)
+        for task in sched.tasks:
+            s = task.actions[0].t
+            lo = task.actions[0].region[0][0]
+            k = lo // 10
+            assert task.group == 2 * s + k
+
+    def test_many_barriers(self):
+        spec = heat1d()
+        steps = 12
+        sched = skewed_schedule(spec, (120,), steps, 12)
+        assert sched.num_groups > steps  # worse than one barrier/step
+
+    def test_width_below_slope_rejected(self):
+        with pytest.raises(ValueError, match="slope"):
+            skewed_schedule(d1p5(), (40,), 4, 1)
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            skewed_schedule(heat1d(), (40,), -1, 4)
+        with pytest.raises(ValueError):
+            skewed_schedule(heat1d(), (40,), 4, 0)
+        with pytest.raises(ValueError):
+            skewed_schedule(heat1d(), (40, 40), 4, 4)

@@ -1,0 +1,71 @@
+"""Tests for the naive and spatial-tiling baselines."""
+
+import pytest
+
+from repro.baselines import naive_schedule, spatial_schedule
+from repro.runtime import schedule_stats, verify_schedule
+from repro.stencils import d1p5, game_of_life, heat1d, heat2d, heat3d
+
+
+class TestNaive:
+    @pytest.mark.parametrize("factory,shape", [
+        (heat1d, (33,)), (heat2d, (14, 15)), (heat3d, (8, 9, 7)),
+        (game_of_life, (12, 11)), (d1p5, (40,)),
+    ])
+    def test_valid(self, factory, shape):
+        spec = factory()
+        assert verify_schedule(spec, naive_schedule(spec, shape, 5, chunks=3))
+
+    def test_one_group_per_step(self):
+        spec = heat2d()
+        s = naive_schedule(spec, (10, 10), 7, chunks=4)
+        assert s.num_groups == 7
+        assert len(s.tasks) == 7 * 4
+
+    def test_chunks_capped_by_extent(self):
+        spec = heat1d()
+        s = naive_schedule(spec, (3,), 2, chunks=10)
+        assert len(s.tasks) == 2 * 3
+
+    def test_no_redundancy(self):
+        spec = heat2d()
+        st = schedule_stats(naive_schedule(spec, (10, 12), 4, chunks=3))
+        assert st["redundancy"] == 0.0
+        assert st["total_point_updates"] == 10 * 12 * 4
+
+    def test_bad_args(self):
+        spec = heat1d()
+        with pytest.raises(ValueError):
+            naive_schedule(spec, (10,), -1)
+        with pytest.raises(ValueError):
+            naive_schedule(spec, (10,), 2, chunks=0)
+        with pytest.raises(ValueError):
+            naive_schedule(spec, (10, 10), 2)
+
+
+class TestSpatial:
+    @pytest.mark.parametrize("factory,shape,tile", [
+        (heat1d, (30,), (7,)), (heat2d, (15, 14), (4, 6)),
+        (heat3d, (9, 8, 7), (4, 4, 4)),
+    ])
+    def test_valid(self, factory, shape, tile):
+        spec = factory()
+        assert verify_schedule(spec, spatial_schedule(spec, shape, 4, tile))
+
+    def test_tile_counts(self):
+        spec = heat2d()
+        s = spatial_schedule(spec, (10, 10), 3, (4, 4))
+        assert len(s.tasks) == 3 * 3 * 3  # ceil(10/4)^2 per step
+
+    def test_tiles_partition(self):
+        spec = heat2d()
+        s = spatial_schedule(spec, (11, 9), 2, (4, 5))
+        st = schedule_stats(s)
+        assert st["total_point_updates"] == 11 * 9 * 2
+
+    def test_bad_tile(self):
+        spec = heat1d()
+        with pytest.raises(ValueError):
+            spatial_schedule(spec, (10,), 2, (0,))
+        with pytest.raises(ValueError):
+            spatial_schedule(spec, (10,), 2, (4, 4))

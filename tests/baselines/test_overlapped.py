@@ -1,0 +1,92 @@
+"""Tests for overlapped (ghost-zone) tiling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import execute_overlapped, overlapped_schedule
+from repro.runtime import schedule_stats, verify_schedule
+from repro.runtime.schedule import execute_schedule
+from repro.stencils import (
+    Grid,
+    d1p5,
+    game_of_life,
+    heat1d,
+    heat2d,
+    heat3d,
+)
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("factory,shape,tile,bt", [
+        (heat1d, (40,), (10,), 3),
+        (d1p5, (50,), (12,), 2),
+        (heat2d, (18, 17), (6, 6), 2),
+        (heat3d, (9, 10, 8), (4, 4, 4), 2),
+        (game_of_life, (14, 14), (5, 5), 3),
+    ])
+    def test_valid(self, factory, shape, tile, bt):
+        spec = factory()
+        sched = overlapped_schedule(spec, shape, 2 * bt + 1, tile, bt)
+        assert verify_schedule(spec, sched)
+
+    def test_redundancy_grows_with_bt(self):
+        spec = heat2d()
+        shape, tile = (32, 32), (8, 8)
+        red = [
+            schedule_stats(
+                overlapped_schedule(spec, shape, 8, tile, bt)
+            )["redundancy"]
+            for bt in (1, 2, 4)
+        ]
+        assert red[0] < red[1] < red[2]
+        assert red[0] == 0.0  # bt=1 has no halo recomputation
+
+    def test_private_flag_set(self):
+        spec = heat1d()
+        sched = overlapped_schedule(spec, (20,), 4, (5,), 2)
+        assert sched.private_tasks
+
+    def test_generic_executor_refuses(self):
+        spec = heat1d()
+        sched = overlapped_schedule(spec, (20,), 4, (5,), 2)
+        g = Grid(spec, (20,), seed=0)
+        with pytest.raises(ValueError, match="private"):
+            execute_schedule(spec, g, sched)
+
+    def test_one_group_per_time_tile(self):
+        spec = heat1d()
+        sched = overlapped_schedule(spec, (20,), 9, (5,), 3)
+        assert sched.num_groups == 3
+
+    def test_bad_args(self):
+        spec = heat1d()
+        with pytest.raises(ValueError):
+            overlapped_schedule(spec, (20,), 4, (5,), 0)
+        with pytest.raises(ValueError):
+            overlapped_schedule(spec, (20,), -1, (5,), 2)
+        with pytest.raises(ValueError):
+            overlapped_schedule(spec, (20,), 4, (0,), 2)
+
+
+class TestExecutor:
+    @given(st.integers(10, 50), st.integers(2, 9), st.integers(1, 4),
+           st.integers(0, 10))
+    @settings(max_examples=30, deadline=None)
+    def test_random_1d(self, n, tile, bt, steps):
+        spec = heat1d()
+        sched = overlapped_schedule(spec, (n,), steps, (tile,), bt)
+        assert verify_schedule(spec, sched, seed=n)
+
+    def test_life_exact(self):
+        spec = game_of_life()
+        sched = overlapped_schedule(spec, (16, 13), 6, (5, 4), 2)
+        assert verify_schedule(spec, sched)
+
+    def test_grid_shape_mismatch(self):
+        spec = heat1d()
+        sched = overlapped_schedule(spec, (20,), 4, (5,), 2)
+        g = Grid(spec, (21,), seed=0)
+        with pytest.raises(ValueError):
+            execute_overlapped(spec, g, sched)

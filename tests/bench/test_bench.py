@@ -1,0 +1,127 @@
+"""Tests for the benchmark harness (small, fast configurations)."""
+
+import pytest
+
+from repro.bench.experiments import (
+    FigureResult,
+    build_schedules,
+    run_scaling,
+    table1_properties,
+    table4_problems,
+)
+from repro.bench.problems import CORE_COUNTS, PROBLEMS, ProblemConfig
+from repro.bench.report import format_scaling, format_table
+from repro.machine.spec import paper_machine
+from repro.runtime import verify_schedule
+from repro.stencils import get_stencil
+
+#: a miniature problem so harness tests stay fast
+MINI = ProblemConfig(
+    name="mini-2d",
+    kernel="heat2d",
+    paper_size="(test)",
+    shape=(96, 96),
+    steps=12,
+    cache_scale=0.01,
+    scale_note="test-only",
+    tess_b=4,
+    tess_core_widths=(2, 4),
+    tess_uncut_dims=(),
+    pluto_b=4,
+    pluto_cut_dims=(0, 1),
+    pochoir_base_dt=3,
+    pochoir_base_widths=(12, 12),
+    mwd_b=4,
+    mwd_chunks=2,
+)
+
+
+class TestProblems:
+    def test_all_table4_rows_present(self):
+        assert set(PROBLEMS) == {
+            "heat1d", "1d5p", "heat2d", "2d9p", "life", "heat3d", "3d27p"
+        }
+
+    def test_kernels_resolve(self):
+        for cfg in PROBLEMS.values():
+            spec = get_stencil(cfg.kernel)
+            assert spec.ndim == len(cfg.shape)
+
+    def test_core_counts_reach_24(self):
+        assert max(CORE_COUNTS) == 24
+
+
+class TestBuildSchedules:
+    @pytest.mark.parametrize("scheme", [
+        "tess", "tess-unmerged", "pluto", "pochoir", "girih", "naive",
+        "overlapped",
+    ])
+    def test_scheme_builds_and_is_valid(self, scheme):
+        spec = get_stencil(MINI.kernel)
+        scheds = build_schedules(MINI, (scheme,))
+        assert set(scheds) == {scheme}
+        assert verify_schedule(spec, scheds[scheme])
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            build_schedules(MINI, ("magic",))
+
+    def test_girih_requires_config(self):
+        cfg = PROBLEMS["heat2d"]
+        assert cfg.mwd_b is None
+        with pytest.raises(ValueError):
+            build_schedules(cfg, ("girih",))
+
+
+class TestRunScaling:
+    def test_series_structure(self):
+        series = run_scaling(MINI, ("tess", "naive"), cores=(1, 4))
+        assert set(series) == {"tess", "naive"}
+        assert [r.cores for r in series["tess"]] == [1, 4]
+
+    def test_figure_result_accessors(self):
+        series = run_scaling(MINI, ("tess",), cores=(1, 4))
+        fr = FigureResult(
+            exp_id="t", title="t", kernel=MINI.kernel,
+            shape=MINI.shape, steps=MINI.steps, series=series,
+        )
+        assert fr.at("tess", 4).cores == 4
+        with pytest.raises(KeyError):
+            fr.at("tess", 3)
+        fr.checks["x"] = (True, "ok")
+        rendered = fr.render()
+        assert "PASS" in rendered and "GStencil/s" in fr.table()
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [10, 0.001]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "---" in lines[1]
+
+    def test_format_scaling_metrics(self):
+        series = run_scaling(MINI, ("tess",), cores=(1, 4))
+        for metric in ("gstencils", "gflops", "speedup", "traffic_gb",
+                       "bandwidth_gbs", "time_ms"):
+            out = format_scaling(series, metric=metric)
+            assert "tess" in out
+
+    def test_format_scaling_bad_metric(self):
+        with pytest.raises(ValueError):
+            format_scaling({}, metric="joules")
+
+    def test_empty_series(self):
+        assert format_scaling({}) == "(no series)"
+
+
+class TestStaticTables:
+    def test_table1_renders(self):
+        out = table1_properties(max_dim=4)
+        assert "stages per phase" in out
+        assert "d=4" in out
+
+    def test_table4_lists_every_benchmark(self):
+        out = table4_problems()
+        for cfg in PROBLEMS.values():
+            assert cfg.name in out

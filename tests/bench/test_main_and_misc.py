@@ -1,0 +1,80 @@
+"""Tests for the bench entry point and assorted harness paths."""
+
+import pytest
+
+from repro.bench.__main__ import _render, main
+from repro.bench.experiments import (
+    FigureResult,
+    ablation_sync_counts,
+    table1_properties,
+    validation_matrix,
+)
+from repro.machine.model import SimResult
+
+
+def _dummy_result(scheme="s", cores=1):
+    return SimResult(
+        scheme=scheme, cores=cores, time_s=1.0, useful_flops=10,
+        useful_points=5, total_points=5, traffic_bytes=100.0,
+        barriers=2, compute_bound_groups=1, memory_bound_groups=1,
+        load_imbalance=1.0,
+    )
+
+
+class TestMain:
+    def test_unknown_experiment_exits_2(self, capsys):
+        assert main(["does-not-exist"]) == 2
+        assert "unknown experiments" in capsys.readouterr().out
+
+    def test_single_experiment_runs(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "stages per phase" in out
+
+    def test_render_string_passthrough(self):
+        assert _render("hello") == "hello"
+
+    def test_render_figure_and_list(self):
+        fr = FigureResult(
+            exp_id="x", title="T", kernel="heat1d", shape=(4,), steps=1,
+            series={"s": [_dummy_result()]},
+        )
+        fr.checks["claim"] = (False, "detail")
+        out = _render([fr, fr])
+        assert out.count("== x: T ==") == 2
+        assert "DIVERGES" in out
+
+
+class TestExperimentHelpers:
+    def test_sync_counts_renders(self):
+        out = ablation_sync_counts(shape_1d=128, steps=8, b=4)
+        assert "tess" in out and "pochoir" in out
+
+    def test_validation_matrix_all_ok(self):
+        out = validation_matrix(steps=5)
+        assert "FAIL" not in out
+        assert out.count("ok") == 9 * 7
+
+    def test_table1_custom_depth(self):
+        out = table1_properties(max_dim=3, b=2)
+        assert "|B_0| (b=2)" in out
+
+
+class TestSimResultProperties:
+    def test_rates(self):
+        r = _dummy_result()
+        assert r.gflops == pytest.approx(10 / 1e9)
+        assert r.gstencils == pytest.approx(5 / 1e9)
+        assert r.bandwidth_gbs == pytest.approx(100 / 1e9)
+        assert r.traffic_gb == pytest.approx(100 / 1e9)
+
+    def test_zero_time_guards(self):
+        r = SimResult(
+            scheme="s", cores=1, time_s=0.0, useful_flops=1,
+            useful_points=1, total_points=1, traffic_bytes=1.0,
+            barriers=0, compute_bound_groups=0, memory_bound_groups=0,
+            load_imbalance=1.0,
+        )
+        assert r.gflops == 0.0
+        assert r.gstencils == 0.0
+        assert r.bandwidth_gbs == 0.0

@@ -1,0 +1,134 @@
+"""Block enumeration & per-step rectangles vs the pointwise masks.
+
+The key invariant: at every (stage, local step), the union of all
+blocks' rectangles must be exactly the mask
+``{x : #{j : a_j(x) ≥ b - s} == stage}`` — blockwise and pointwise
+views of the tessellation coincide, with no overlap between blocks.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.blocks import (
+    TessBlock,
+    build_phase_plan,
+    enumerate_stage_blocks,
+)
+from repro.core.pointwise import _stage_count_array
+from repro.core.profiles import AxisProfile, TessLattice
+
+
+def lattice_cases():
+    return [
+        TessLattice.uniform((20,), 3),
+        TessLattice.uniform((21, 17), 2),
+        TessLattice.coarse((25, 19), 3, core_widths=(4, 2)),
+        TessLattice.coarse((14, 13, 11), 2, core_widths=(2, 1, 3)),
+        TessLattice((AxisProfile.uniform(18, 2),
+                     AxisProfile.uncut(15, 2))),
+        TessLattice((AxisProfile.stretched(23, 3),
+                     AxisProfile.uniform(20, 3))),
+        TessLattice((AxisProfile.uniform(30, 3, sigma=2),)),
+    ]
+
+
+def _mask_from_blocks(lattice, stage, s):
+    slopes = tuple(p.sigma for p in lattice.profiles)
+    shape = lattice.shape
+    mask = np.zeros(shape, dtype=np.int32)
+    for blk in enumerate_stage_blocks(lattice, stage, slopes):
+        region = blk.region_at(s, lattice.b, slopes, shape)
+        idx = tuple(slice(lo, hi) for lo, hi in region)
+        if all(hi > lo for lo, hi in region):
+            mask[idx] += 1
+    return mask
+
+
+@pytest.mark.parametrize("lattice", lattice_cases(),
+                         ids=lambda l: f"{l.shape}-b{l.b}")
+class TestBlockMaskConsistency:
+    def test_blocks_cover_exactly_the_stage_masks(self, lattice):
+        b = lattice.b
+        d = lattice.ndim
+        a_vecs = lattice.distance_arrays()
+        for stage in range(d + 1):
+            for s in range(b):
+                count = _stage_count_array(a_vecs, b, s)
+                want = (count == stage)
+                got = _mask_from_blocks(lattice, stage, s)
+                assert got.max(initial=0) <= 1, (
+                    f"blocks overlap at stage {stage} step {s}"
+                )
+                assert np.array_equal(got.astype(bool), want), (
+                    f"coverage mismatch at stage {stage} step {s}"
+                )
+
+    def test_stage_masks_partition_each_step(self, lattice):
+        b = lattice.b
+        d = lattice.ndim
+        a_vecs = lattice.distance_arrays()
+        for s in range(b):
+            total = np.zeros(lattice.shape, dtype=np.int32)
+            for stage in range(d + 1):
+                total += (_stage_count_array(a_vecs, b, s) == stage)
+            assert np.array_equal(total, np.ones_like(total))
+
+
+class TestTessBlock:
+    def test_region_growth_shrink(self):
+        blk = TessBlock(stage=1, glued=(0,), base=((10, 11), (4, 6)))
+        b, slopes, shape = 3, (1, 1), (30, 30)
+        r0 = blk.region_at(0, b, slopes, shape)
+        r2 = blk.region_at(2, b, slopes, shape)
+        assert r0 == ((10, 11), (2, 8))   # glued tight, ending dilated
+        assert r2 == ((8, 13), (4, 6))    # glued dilated, ending tight
+
+    def test_region_clipping(self):
+        blk = TessBlock(stage=1, glued=(0,), base=((0, 1), (0, 2)))
+        r = blk.region_at(2, 3, (1, 1), (10, 10))
+        assert r[0][0] == 0 and r[1][0] == 0
+
+    def test_region_bad_step(self):
+        blk = TessBlock(stage=0, glued=(), base=((0, 1),))
+        with pytest.raises(ValueError):
+            blk.region_at(3, 3, (1,), (10,))
+        with pytest.raises(ValueError):
+            blk.region_at(-1, 3, (1,), (10,))
+
+    def test_bounding_box_contains_all_steps(self):
+        blk = TessBlock(stage=1, glued=(1,), base=((4, 6), (9, 10)))
+        b, slopes, shape = 4, (1, 2), (40, 40)
+        box = blk.bounding_box(b, slopes, shape)
+        for s in range(b):
+            for (lo, hi), (blo, bhi) in zip(
+                blk.region_at(s, b, slopes, shape), box
+            ):
+                assert blo <= lo and hi <= bhi
+
+    def test_total_points_counts_all_steps(self):
+        blk = TessBlock(stage=0, glued=(), base=((5, 6),))
+        # ending dim: widths 2(b-1-s)+1 for s=0..b-1
+        assert blk.total_points(3, (1,), (20,)) == 5 + 3 + 1
+
+
+class TestPhasePlan:
+    def test_stage_count(self):
+        lat = TessLattice.uniform((15, 15), 2)
+        plan = build_phase_plan(lat, (1, 1))
+        assert len(plan.stages) == 3
+        assert plan.num_barriers() == 3
+        assert plan.b == 2
+
+    def test_uncut_axis_empties_low_stages(self):
+        lat = TessLattice((AxisProfile.uniform(16, 2),
+                           AxisProfile.uncut(10, 2)))
+        plan = build_phase_plan(lat, (1, 1))
+        assert len(plan.stages[0].blocks) == 0  # no all-ending blocks
+        assert len(plan.stages[1].blocks) > 0
+
+    def test_num_blocks_positive(self):
+        lat = TessLattice.uniform((30,), 3)
+        plan = build_phase_plan(lat, (1,))
+        assert plan.num_blocks() > 0

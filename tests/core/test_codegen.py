@@ -1,0 +1,153 @@
+"""Tests for the stencil code generator (the paper's §6 future work)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_lattice, run_blocked
+from repro.core.codegen import (
+    compile_tess,
+    generate_tess_source,
+    run_generated,
+)
+from repro.stencils import (
+    Grid,
+    d1p5,
+    d3p27,
+    game_of_life,
+    get_stencil,
+    heat1d,
+    heat2d,
+    heat3d,
+    reference_sweep,
+)
+
+
+class TestSourceGeneration:
+    def test_source_is_compilable(self):
+        for d in (1, 2, 3, 4):
+            src = generate_tess_source(d, (1,) * d)
+            compile(src, "<test>", "exec")
+
+    def test_source_mentions_every_dim(self):
+        src = generate_tess_source(3, (1, 1, 1))
+        for j in range(3):
+            assert f"n{j}" in src and f"k{j}" in src
+
+    def test_stage_unrolling(self):
+        # 2D: stages with C(2,i) subsets => 1 + 2 + 1 = 4 loop nests
+        src = generate_tess_source(2, (1, 1))
+        assert src.count("# stage") == 4
+
+    def test_slopes_specialised(self):
+        src = generate_tess_source(1, (2,))
+        assert "s0 = 2" in src
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            generate_tess_source(0, ())
+        with pytest.raises(ValueError):
+            generate_tess_source(2, (1,))
+        with pytest.raises(ValueError):
+            generate_tess_source(1, (0,))
+
+    def test_compiled_keeps_source(self):
+        fn = compile_tess(1, (1,))
+        assert "def tess_run" in fn.__source__
+
+
+class TestGeneratedCorrectness:
+    @pytest.mark.parametrize("factory,shape,b", [
+        (heat1d, (60,), 4), (d1p5, (70,), 3),
+        (heat2d, (22, 19), 3), (game_of_life, (16, 17), 2),
+        (heat3d, (11, 10, 12), 2), (d3p27, (10, 10, 10), 2),
+    ])
+    def test_matches_reference(self, factory, shape, b):
+        spec = factory()
+        steps = 2 * b + 1
+        g1 = Grid(spec, shape, seed=8)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        out = run_generated(spec, g2, steps, b)
+        if np.issubdtype(spec.dtype, np.integer):
+            assert np.array_equal(ref, out)
+        else:
+            assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    @given(st.integers(12, 40), st.integers(1, 3), st.integers(0, 8),
+           st.integers(1, 3))
+    @settings(max_examples=20, deadline=None)
+    def test_random_2d_equals_run_blocked(self, n, b, steps, w):
+        spec = get_stencil("heat2d")
+        shape = (n, n + 3)
+        lat = make_lattice(spec, shape, b, core_widths=(w, w))
+        g1 = Grid(spec, shape, seed=steps)
+        g2 = g1.copy()
+        a = run_blocked(spec, g1, lat, steps).copy()
+        out = run_generated(spec, g2, steps, b, lattice=lat)
+        assert np.allclose(a, out, rtol=1e-12, atol=1e-13)
+
+    def test_rejects_periodic(self):
+        spec = get_stencil("heat1d", boundary="periodic")
+        g = Grid(spec, (20,), seed=0)
+        with pytest.raises(ValueError):
+            run_generated(spec, g, 4, 2)
+
+    def test_rejects_uncut_axes(self):
+        from repro.core.profiles import AxisProfile, TessLattice
+
+        spec = get_stencil("heat2d")
+        g = Grid(spec, (16, 16), seed=0)
+        lat = TessLattice((AxisProfile.uniform(16, 2),
+                           AxisProfile.uncut(16, 2)))
+        with pytest.raises(ValueError):
+            run_generated(spec, g, 4, 2, lattice=lat)
+
+
+class TestKernelGeneration:
+    def test_kernel_source_linear(self):
+        from repro.core.codegen import generate_kernel_source
+
+        spec = get_stencil("heat2d")
+        src = generate_kernel_source(spec)
+        assert "numpy.multiply" in src
+        assert src.count("out +=") == spec.num_neighbors - 1
+
+    def test_kernel_matches_operator(self):
+        from repro.core.codegen import compile_kernel
+
+        spec = get_stencil("3d27p")
+        kern = compile_kernel(spec)
+        g = Grid(spec, (8, 9, 7), seed=5)
+        dst_a = np.zeros_like(g.at(0))
+        dst_b = np.zeros_like(g.at(0))
+        region = ((1, 6), (0, 9), (2, 7))
+        spec.apply_region(g.at(0), dst_a, region)
+        kern(g.at(0), dst_b, region)
+        assert np.allclose(dst_a, dst_b, rtol=1e-15)
+
+    def test_kernel_empty_region_noop(self):
+        from repro.core.codegen import compile_kernel
+
+        spec = get_stencil("heat1d")
+        kern = compile_kernel(spec)
+        g = Grid(spec, (10,), seed=0)
+        dst = np.full_like(g.at(0), -1.0)
+        kern(g.at(0), dst, ((4, 4),))
+        assert np.all(dst == -1.0)
+
+    def test_kernel_rejects_nonlinear(self):
+        from repro.core.codegen import generate_kernel_source
+
+        with pytest.raises(ValueError):
+            generate_kernel_source(get_stencil("life"))
+
+    def test_full_generated_pipeline_linear(self):
+        """Generated driver + generated kernel, no library fallback."""
+        spec = get_stencil("heat2d")
+        g1 = Grid(spec, (20, 18), seed=9)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 7)
+        out = run_generated(spec, g2, 7, 2)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)

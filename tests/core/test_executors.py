@@ -1,0 +1,224 @@
+"""End-to-end correctness of the tessellation executors.
+
+Every executor must be bit-compatible (within fp tolerance; exact for
+the integer Game of Life) with the naive reference on arbitrary grids,
+depths and step counts — including truncated final phases, stretched
+lattices, supernodes (order-2 stencils) and periodic boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_lattice, run_blocked, run_merged, run_pointwise
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.stencils import (
+    Grid,
+    d1p5,
+    d2p9,
+    d3p27,
+    game_of_life,
+    heat1d,
+    heat2d,
+    heat3d,
+    reference_sweep,
+)
+
+ALL_KERNELS = {
+    "heat1d": (heat1d, (37,)),
+    "1d5p": (d1p5, (44,)),
+    "heat2d": (heat2d, (17, 21)),
+    "2d9p": (d2p9, (19, 16)),
+    "life": (game_of_life, (18, 15)),
+    "heat3d": (heat3d, (9, 11, 10)),
+    "3d27p": (d3p27, (10, 9, 8)),
+}
+
+
+def _compare(spec, ref, out):
+    if np.issubdtype(spec.dtype, np.integer):
+        return np.array_equal(ref, out)
+    return np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+
+@pytest.mark.parametrize("name", sorted(ALL_KERNELS))
+@pytest.mark.parametrize("runner", [run_pointwise, run_blocked, run_merged],
+                         ids=["pointwise", "blocked", "merged"])
+class TestAllKernelsAllExecutors:
+    def test_matches_reference(self, name, runner):
+        factory, shape = ALL_KERNELS[name]
+        spec = factory()
+        b = 3 if spec.order == 1 else 2
+        steps = 2 * b + 1  # truncated final phase on purpose
+        g_ref = Grid(spec, shape, init="random", seed=11)
+        g_out = g_ref.copy()
+        ref = reference_sweep(spec, g_ref, steps)
+        lat = make_lattice(spec, shape, b)
+        out = runner(spec, g_out, lat, steps)
+        assert _compare(spec, ref, out)
+
+
+class TestPointwiseSpecifics:
+    @given(st.integers(6, 40), st.integers(1, 4), st.integers(0, 9),
+           st.booleans())
+    @settings(max_examples=40, deadline=None)
+    def test_random_1d(self, n, b, steps, periodic):
+        spec = heat1d("periodic" if periodic else "dirichlet")
+        g1 = Grid(spec, (n,), seed=n)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        prof = AxisProfile.stretched(n, b, periodic=periodic)
+        out = run_pointwise(spec, g2, TessLattice((prof,)), steps)
+        assert _compare(spec, ref, out)
+
+    @given(st.integers(6, 18), st.integers(6, 18), st.integers(1, 3),
+           st.integers(0, 7), st.booleans())
+    @settings(max_examples=25, deadline=None)
+    def test_random_2d(self, nx, ny, b, steps, periodic):
+        spec = heat2d("periodic" if periodic else "dirichlet")
+        g1 = Grid(spec, (nx, ny), seed=nx * ny)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        lat = TessLattice((
+            AxisProfile.stretched(nx, b, periodic=periodic),
+            AxisProfile.stretched(ny, b, periodic=periodic),
+        ))
+        out = run_pointwise(spec, g2, lat, steps)
+        assert _compare(spec, ref, out)
+
+    def test_periodic_life(self):
+        spec = game_of_life("periodic")
+        g1 = Grid(spec, (16, 12), seed=5)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 6)
+        lat = TessLattice((
+            AxisProfile.uniform(16, 2, periodic=True),
+            AxisProfile.uniform(12, 2, periodic=True),
+        ))
+        out = run_pointwise(spec, g2, lat, 6)
+        assert np.array_equal(ref, out)
+
+    def test_update_hook_totals(self):
+        spec = heat2d()
+        g = Grid(spec, (12, 13), seed=0)
+        lat = make_lattice(spec, (12, 13), 2)
+        counts = []
+        run_pointwise(spec, g, lat, 4,
+                      on_update=lambda tt, st_, s, n: counts.append(n))
+        assert sum(counts) == 12 * 13 * 4
+
+    def test_zero_steps_is_identity(self):
+        spec = heat1d()
+        g = Grid(spec, (10,), seed=1)
+        before = g.interior(0).copy()
+        out = run_pointwise(spec, g, make_lattice(spec, (10,), 2), 0)
+        assert np.array_equal(before, out)
+
+    def test_mismatched_lattice_rejected(self):
+        spec = heat1d()
+        g = Grid(spec, (10,), seed=1)
+        with pytest.raises(ValueError):
+            run_pointwise(spec, g, make_lattice(spec, (11,), 2), 2)
+
+    def test_slope_too_small_rejected(self):
+        spec = d1p5()
+        g = Grid(spec, (20,), seed=1)
+        lat = TessLattice((AxisProfile.uniform(20, 2, sigma=1),))
+        with pytest.raises(ValueError):
+            run_pointwise(spec, g, lat, 2)
+
+    def test_periodicity_mismatch_rejected(self):
+        spec = heat1d("periodic")
+        g = Grid(spec, (12,), seed=1)
+        lat = TessLattice((AxisProfile.uniform(12, 2, periodic=False),))
+        with pytest.raises(ValueError):
+            run_pointwise(spec, g, lat, 2)
+
+    def test_negative_steps_rejected(self):
+        spec = heat1d()
+        g = Grid(spec, (10,), seed=1)
+        with pytest.raises(ValueError):
+            run_pointwise(spec, g, make_lattice(spec, (10,), 2), -1)
+
+
+class TestBlockExecutorSpecifics:
+    @given(st.integers(8, 30), st.integers(8, 30), st.integers(1, 3),
+           st.integers(1, 9), st.integers(1, 4), st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_random_coarse_2d(self, nx, ny, b, steps, wx, wy):
+        spec = heat2d()
+        g1 = Grid(spec, (nx, ny), seed=steps)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        lat = make_lattice(spec, (nx, ny), b, core_widths=(wx, wy))
+        out = run_blocked(spec, g2, lat, steps)
+        assert _compare(spec, ref, out)
+
+    def test_rejects_periodic(self):
+        spec = heat1d("periodic")
+        g = Grid(spec, (12,), seed=1)
+        lat = TessLattice((AxisProfile.uniform(12, 2, periodic=True),))
+        with pytest.raises(ValueError):
+            run_blocked(spec, g, lat, 2)
+        with pytest.raises(ValueError):
+            run_merged(spec, g, lat, 2)
+
+    def test_block_hook_totals(self):
+        spec = heat2d()
+        g = Grid(spec, (14, 14), seed=0)
+        lat = make_lattice(spec, (14, 14), 2)
+        seen = []
+        run_blocked(spec, g, lat, 5,
+                    on_block=lambda kind, tt, blk, n: seen.append((kind, n)))
+        assert sum(n for _, n in seen) == 14 * 14 * 5
+
+    def test_uncut_axis_executes(self):
+        spec = heat3d()
+        shape = (12, 10, 9)
+        g1 = Grid(spec, shape, seed=3)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 5)
+        lat = make_lattice(spec, shape, 2, core_widths=(1, 1, 1),
+                           uncut_dims=(2,))
+        out = run_blocked(spec, g2, lat, 5)
+        assert _compare(spec, ref, out)
+
+
+class TestMergedExecutorSpecifics:
+    @given(st.integers(10, 30), st.integers(1, 3), st.integers(0, 11))
+    @settings(max_examples=30, deadline=None)
+    def test_random_1d(self, n, b, steps):
+        spec = heat1d()
+        g1 = Grid(spec, (n,), seed=steps)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        out = run_merged(spec, g2, make_lattice(spec, (n,), b), steps)
+        assert _compare(spec, ref, out)
+
+    def test_merged_equals_unmerged(self):
+        spec = heat2d()
+        shape = (19, 22)
+        lat = make_lattice(spec, shape, 3)
+        g1 = Grid(spec, shape, seed=7)
+        g2 = g1.copy()
+        a = run_blocked(spec, g1, lat, 9).copy()
+        bout = run_merged(spec, g2, lat, 9).copy()
+        assert np.allclose(a, bout, rtol=1e-12, atol=1e-13)
+
+    def test_merging_condition_enforced(self):
+        spec = d1p5()  # slope 2
+        g = Grid(spec, (40,), seed=1)
+        lat = make_lattice(spec, (40,), 2, core_widths=(1,))
+        with pytest.raises(ValueError, match="core width"):
+            run_merged(spec, g, lat, 4)
+
+    def test_merged_uncut_3d(self):
+        spec = heat3d()
+        shape = (12, 11, 10)
+        g1 = Grid(spec, shape, seed=9)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 7)
+        lat = make_lattice(spec, shape, 2, uncut_dims=(2,))
+        out = run_merged(spec, g2, lat, 7)
+        assert _compare(spec, ref, out)

@@ -1,0 +1,69 @@
+"""Additional iteration-space coverage: higher dimensions, block
+resolution at the extreme stages, quadrant geometry."""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration_space import (
+    NO_UPDATE,
+    block_resolved_counts,
+    quadrant_coords,
+    stage_tables,
+    time_tile_total,
+)
+
+
+class TestQuadrant:
+    def test_coords_count(self):
+        assert quadrant_coords(2, 3).shape == (16, 2)
+        assert quadrant_coords(3, 2).shape == (27, 3)
+
+    def test_coords_range(self):
+        c = quadrant_coords(2, 4)
+        assert c.min() == 0 and c.max() == 4
+
+
+class TestHigherDims:
+    @pytest.mark.parametrize("d,b", [(1, 5), (2, 4), (3, 3), (4, 2)])
+    def test_time_tile_total_is_b(self, d, b):
+        assert np.all(time_tile_total(d, b) == b)
+
+    def test_4d_stage_tables_consistent(self):
+        """Σ_i T_i = b holds cell-wise in 4D (beyond paper's tables)."""
+        b = 2
+        total = np.zeros((b + 1,) * 4, dtype=np.int64)
+        for i in range(5):
+            t = stage_tables(4, b, i)["count"]
+            total += np.where(t == NO_UPDATE, 0, t)
+        assert np.all(total == b)
+
+
+class TestBlockResolvedExtremes:
+    def test_stage_0_block_is_whole_quadrant(self):
+        blk = block_resolved_counts(2, 3, 0, center=(0, 0))
+        full = stage_tables(2, 3, 0)["count"]
+        assert np.array_equal(blk, full)
+
+    def test_stage_d_block_is_whole_quadrant(self):
+        blk = block_resolved_counts(2, 3, 2, center=(3, 3))
+        full = stage_tables(2, 3, 2)["count"]
+        assert np.array_equal(blk, full)
+
+    def test_mid_stage_blocks_partition_positive_cells(self):
+        """The C(d,i) per-block tables tile the combined table (3D)."""
+        d, b, stage = 3, 3, 1
+        full = stage_tables(d, b, stage)["count"]
+        combined = np.full_like(full, NO_UPDATE)
+        claimed = np.zeros_like(full)
+        centers = [(b, 0, 0), (0, b, 0), (0, 0, b)]
+        for c in centers:
+            blk = block_resolved_counts(d, b, stage, center=c)
+            member = blk != NO_UPDATE
+            claimed += member
+            combined = np.where(member, blk, combined)
+        # no cell claimed twice; every strictly-dominated cell claimed
+        assert claimed.max() <= 1
+        live = full != NO_UPDATE
+        # ties (equal largest distances) stay unclaimed by the strict
+        # dominance rule — everything claimed must match the full table
+        assert np.array_equal(combined[claimed == 1], full[claimed == 1])

@@ -1,0 +1,126 @@
+"""Tests for the literal artifact-code transcriptions (paper appendix)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.paper1d import run_paper1d
+from repro.core.paper2d import _ceild, run_paper2d
+from repro.stencils import (
+    Grid,
+    d1p5,
+    d2p9,
+    game_of_life,
+    heat1d,
+    heat2d,
+    reference_sweep,
+)
+
+
+class TestPaper1D:
+    @given(st.integers(20, 120), st.integers(2, 6), st.integers(0, 20))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference(self, n, bt, steps):
+        spec = heat1d()
+        bx = 4 * bt + 3
+        g1 = Grid(spec, (n,), seed=n)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        out = run_paper1d(spec, g2, bx, bt, steps)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_order2_slope(self):
+        spec = d1p5()
+        g1 = Grid(spec, (90,), seed=2)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 9)
+        out = run_paper1d(spec, g2, bx=26, bt=3, steps=9)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_block_hook(self):
+        spec = heat1d()
+        g = Grid(spec, (60,), seed=1)
+        total = []
+        run_paper1d(spec, g, 16, 3, 9,
+                    on_block=lambda tt, lvl, n, pts: total.append(pts))
+        assert sum(total) == 60 * 9
+
+    def test_rejects_degenerate_block(self):
+        spec = heat1d()
+        g = Grid(spec, (40,), seed=1)
+        with pytest.raises(ValueError):
+            run_paper1d(spec, g, bx=6, bt=3, steps=5)
+
+    def test_rejects_wrong_rank(self):
+        spec = heat2d()
+        g = Grid(spec, (10, 10), seed=1)
+        with pytest.raises(ValueError):
+            run_paper1d(spec, g, 8, 2, 4)
+
+    def test_rejects_periodic(self):
+        spec = heat1d("periodic")
+        g = Grid(spec, (40,), seed=1)
+        with pytest.raises(ValueError):
+            run_paper1d(spec, g, 16, 3, 5)
+
+
+class TestPaper2D:
+    @pytest.mark.parametrize("factory", [heat2d, d2p9, game_of_life],
+                             ids=["heat2d", "2d9p", "life"])
+    def test_kernels_match_reference(self, factory):
+        spec = factory()
+        shape = (33, 37)
+        g1 = Grid(spec, shape, seed=4)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 9)
+        out = run_paper2d(spec, g2, Bx=12, By=10, bt=2, steps=9)
+        if np.issubdtype(spec.dtype, np.integer):
+            assert np.array_equal(ref, out)
+        else:
+            assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    @given(st.integers(16, 48), st.integers(16, 48), st.integers(1, 3),
+           st.integers(0, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_random_geometry(self, nx, ny, bt, steps):
+        spec = heat2d()
+        Bx = 4 * bt + 2
+        By = 4 * bt + 4
+        g1 = Grid(spec, (nx, ny), seed=steps + nx)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, steps)
+        out = run_paper2d(spec, g2, Bx, By, bt, steps)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_block_hook_accounts_all_updates(self):
+        spec = heat2d()
+        shape = (30, 26)
+        g = Grid(spec, shape, seed=1)
+        total = []
+        run_paper2d(spec, g, 12, 12, 3, 8,
+                    on_block=lambda tt, kind, lvl, n, pts: total.append(pts))
+        assert sum(total) == 30 * 26 * 8
+
+    def test_rejects_degenerate(self):
+        spec = heat2d()
+        g = Grid(spec, (30, 30), seed=1)
+        with pytest.raises(ValueError):
+            run_paper2d(spec, g, Bx=6, By=12, bt=3, steps=5)
+
+    def test_rejects_wrong_rank(self):
+        spec = heat1d()
+        g = Grid(spec, (30,), seed=1)
+        with pytest.raises(ValueError):
+            run_paper2d(spec, g, 10, 10, 2, 4)
+
+
+class TestCeild:
+    def test_positive(self):
+        assert _ceild(10, 3) == 4
+        assert _ceild(9, 3) == 3
+
+    def test_c_truncation_semantics(self):
+        # (a + b - 1) / b with C trunc-toward-zero for negative numerators
+        assert _ceild(-5, 3) == -1
+        assert _ceild(0, 3) == 0

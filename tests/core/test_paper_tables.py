@@ -1,0 +1,155 @@
+"""Golden tests: regenerate the paper's printed Tables 2 and 3.
+
+Table 2 tabulates ``T_i^s``/``T_i^e``/``T_i`` over the quadrant
+``B_0^+`` of the 2D stencil with ``b = 3``; Table 3 the stage counts of
+the 3D stencil.  The matrices below are transcribed from the paper
+('-' = no update in that stage); the paper prints the 3D tables with
+the k (z) axis measured from the opposite corner, so those slices are
+compared with the z-axis flipped.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.iteration_space import (
+    NO_UPDATE,
+    block_resolved_counts,
+    format_table,
+    quadrant_coords,
+    stage_tables,
+    time_tile_total,
+)
+
+_ = NO_UPDATE  # alias for readability in the golden matrices
+
+
+def M(rows):
+    return np.array(rows, dtype=np.int64)
+
+
+# ---- Table 2 (2D, b = 3) — transcribed from the paper -------------------
+
+TABLE2_TS = {
+    0: M([[0, 0, 0, _], [0, 0, 0, _], [0, 0, 0, _], [_, _, _, _]]),
+    1: M([[_, 2, 1, 0], [2, _, 1, 0], [1, 1, _, 0], [0, 0, 0, _]]),
+    2: M([[_, _, _, _], [_, 2, 2, 2], [_, 2, 1, 1], [_, 2, 1, 0]]),
+}
+TABLE2_TE = {
+    0: M([[3, 2, 1, _], [2, 2, 1, _], [1, 1, 1, _], [_, _, _, _]]),
+    1: M([[_, 3, 3, 3], [3, _, 2, 2], [3, 2, _, 1], [3, 2, 1, _]]),
+    2: M([[_, _, _, _], [_, 3, 3, 3], [_, 3, 3, 3], [_, 3, 3, 3]]),
+}
+TABLE2_T = {
+    0: M([[3, 2, 1, _], [2, 2, 1, _], [1, 1, 1, _], [_, _, _, _]]),
+    1: M([[_, 1, 2, 3], [1, _, 1, 2], [2, 1, _, 1], [3, 2, 1, _]]),
+    2: M([[_, _, _, _], [_, 1, 1, 1], [_, 1, 2, 2], [_, 1, 2, 3]]),
+}
+
+
+class TestTable2:
+    @pytest.mark.parametrize("stage", [0, 1, 2])
+    def test_start_times(self, stage):
+        got = stage_tables(2, 3, stage)["start"]
+        assert np.array_equal(got, TABLE2_TS[stage])
+
+    @pytest.mark.parametrize("stage", [0, 1, 2])
+    def test_end_times(self, stage):
+        got = stage_tables(2, 3, stage)["end"]
+        assert np.array_equal(got, TABLE2_TE[stage])
+
+    @pytest.mark.parametrize("stage", [0, 1, 2])
+    def test_counts(self, stage):
+        got = stage_tables(2, 3, stage)["count"]
+        assert np.array_equal(got, TABLE2_T[stage])
+
+    def test_time_tile_sums_to_b(self):
+        assert np.array_equal(time_tile_total(2, 3),
+                              np.full((4, 4), 3))
+
+
+# ---- Table 3 (3D, b = 3) — 𝔹_0^+ / 𝔹_3^+ and the combined 𝔹_1^+ ----------
+# The paper prints one 4x4 matrix per k slice; its k axis runs from the
+# far corner, i.e. paper slice k corresponds to our z = 3 - k.
+
+TABLE3_B0 = {  # paper k -> matrix
+    0: M([[_, _, _, _]] * 4),
+    1: M([[1, 1, 1, _], [1, 1, 1, _], [1, 1, 1, _], [_, _, _, _]]),
+    2: M([[2, 2, 1, _], [2, 2, 1, _], [1, 1, 1, _], [_, _, _, _]]),
+    3: M([[3, 2, 1, _], [2, 2, 1, _], [1, 1, 1, _], [_, _, _, _]]),
+}
+TABLE3_B3 = {
+    0: M([[_, _, _, _], [_, 1, 1, 1], [_, 1, 2, 2], [_, 1, 2, 3]]),
+    1: M([[_, _, _, _], [_, 1, 1, 1], [_, 1, 2, 2], [_, 1, 2, 2]]),
+    2: M([[_, _, _, _], [_, 1, 1, 1], [_, 1, 1, 1], [_, 1, 1, 1]]),
+    3: M([[_, _, _, _]] * 4),
+}
+TABLE3_B1 = {
+    0: M([[3, 2, 1, _], [2, 2, 1, _], [1, 1, 1, _], [_, _, _, _]]),
+    1: M([[2, 1, _, 1], [1, 1, _, 1], [_, _, _, 1], [1, 1, 1, _]]),
+    2: M([[1, _, 1, 2], [_, _, 1, 2], [1, 1, _, 1], [2, 2, 1, _]]),
+    3: M([[_, 1, 2, 3], [1, _, 1, 2], [2, 1, _, 1], [3, 2, 1, _]]),
+}
+
+
+def _stage_slices(stage):
+    """Our stage-count cube with paper '-' marking and k flipped."""
+    counts = stage_tables(3, 3, stage)["count"]
+    return {k: counts[:, :, 3 - k] for k in range(4)}
+
+
+class TestTable3:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_b0_plus(self, k):
+        assert np.array_equal(_stage_slices(0)[k], TABLE3_B0[k])
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_b3_plus(self, k):
+        assert np.array_equal(_stage_slices(3)[k], TABLE3_B3[k])
+
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_b1_plus_combined(self, k):
+        assert np.array_equal(_stage_slices(1)[k], TABLE3_B1[k])
+
+    def test_b2_by_elimination(self):
+        """𝔹_2 = b − 𝔹_0 − 𝔹_1 − 𝔹_3 pointwise (Theorem 3.5)."""
+        total = time_tile_total(3, 3)
+        assert np.array_equal(total, np.full((4, 4, 4), 3))
+
+    def test_block_resolved_b1_x_glued(self):
+        """Per-block table 𝔹_1^+(b,0,0): only points whose largest
+        distance is along x receive their stage-1 updates there."""
+        full = stage_tables(3, 3, 1)["count"]
+        blk = block_resolved_counts(3, 3, 1, center=(3, 0, 0))
+        member = blk != NO_UPDATE
+        assert np.array_equal(blk[member], full[member])
+        # membership: x strictly dominates the other coordinates
+        coords = quadrant_coords(3, 3).reshape(4, 4, 4, 3)
+        dominated = (coords[..., 0] > coords[..., 1]) & (
+            coords[..., 0] > coords[..., 2]
+        )
+        assert bool(np.all(member <= (dominated & (full > 0))))
+
+    def test_block_resolved_rejects_bad_center(self):
+        with pytest.raises(ValueError):
+            block_resolved_counts(3, 3, 1, center=(3, 3, 0))
+        with pytest.raises(ValueError):
+            block_resolved_counts(3, 3, 1, center=(2, 0, 0))
+        with pytest.raises(ValueError):
+            block_resolved_counts(3, 3, 1, center=(3, 0))
+
+
+class TestFormatting:
+    def test_format_2d(self):
+        out = format_table(M([[1, _], [_, 2]]))
+        assert out.splitlines() == ["1 -", "- 2"]
+
+    def test_format_1d(self):
+        assert format_table(np.array([1, -1, 2])) == "1 - 2"
+
+    def test_format_3d_has_slices(self):
+        out = format_table(np.zeros((2, 2, 2), dtype=np.int64))
+        assert "k = 0" in out and "k = 1" in out
+
+    def test_format_rejects_4d(self):
+        with pytest.raises(ValueError):
+            format_table(np.zeros((2, 2, 2, 2), dtype=np.int64))

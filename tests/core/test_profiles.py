@@ -1,0 +1,173 @@
+"""Tests for the generalised distance profiles and lattices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiles import AxisProfile, TessLattice
+
+
+class TestUniformProfile:
+    def test_matches_paper_lattice(self):
+        """σ=1 uniform: distance to the nearest multiple of 2b, cap b."""
+        p = AxisProfile.uniform(20, b=3)
+        a = p.a()
+        expect = [min(3, min(x % 6, 6 - x % 6)) for x in range(20)]
+        assert a.tolist() == expect
+
+    def test_core_width_equals_sigma(self):
+        p = AxisProfile.uniform(30, b=2, sigma=2)
+        assert p.core_width == 2
+        assert p.period == 8
+
+    def test_phase_shift(self):
+        p = AxisProfile.uniform(20, b=3, phase=2)
+        assert p.a()[2] == 0
+
+    @given(st.integers(5, 60), st.integers(1, 5), st.integers(1, 3),
+           st.integers(0, 10))
+    @settings(max_examples=80, deadline=None)
+    def test_always_valid(self, n, b, sigma, phase):
+        p = AxisProfile.uniform(n, b, sigma=sigma, phase=phase)
+        p.validate()
+
+    def test_periodic_requires_divisibility(self):
+        AxisProfile.uniform(24, b=3, periodic=True)  # 24 % 6 == 0
+        with pytest.raises(ValueError):
+            AxisProfile.uniform(25, b=3, periodic=True)
+
+
+class TestCoarseProfile:
+    def test_default_period_is_merge_compatible(self):
+        p = AxisProfile.coarse(100, b=4, core_width=10)
+        assert p.period == 2 * 10 + 2 * 3
+        plats = p.plateaus()
+        widths = {hi - lo for lo, hi in plats}
+        assert widths == {10}
+
+    def test_cores_cover_domain_margins(self):
+        p = AxisProfile.coarse(50, b=3, core_width=5)
+        assert any(lo <= 0 for lo, hi in p.cores)
+        assert any(hi >= 50 for lo, hi in p.cores)
+
+    @given(st.integers(10, 80), st.integers(1, 4), st.integers(1, 3),
+           st.integers(1, 8))
+    @settings(max_examples=80, deadline=None)
+    def test_always_valid(self, n, b, sigma, w):
+        p = AxisProfile.coarse(n, b, sigma=sigma, core_width=w)
+        p.validate()
+
+    def test_rejects_tiny_period(self):
+        with pytest.raises(ValueError):
+            AxisProfile.coarse(50, b=3, core_width=5, period=5)
+
+    def test_rejects_nonpositive_params(self):
+        with pytest.raises(ValueError):
+            AxisProfile.coarse(10, b=0)
+        with pytest.raises(ValueError):
+            AxisProfile.coarse(0, b=2)
+        with pytest.raises(ValueError):
+            AxisProfile.coarse(10, b=2, core_width=0)
+
+
+class TestExplicitAndStretched:
+    def test_from_cores_distances(self):
+        p = AxisProfile.from_cores(12, b=3, cores=[(0, 2), (8, 10)])
+        a = p.a()
+        assert a[0] == 0 and a[1] == 0
+        assert a[2] == 1 and a[4] == 3  # capped
+        assert a[8] == 0
+
+    def test_from_cores_validation(self):
+        with pytest.raises(ValueError):
+            AxisProfile.from_cores(10, 2, cores=[])
+        with pytest.raises(ValueError):
+            AxisProfile.from_cores(10, 2, cores=[(5, 3)])
+        with pytest.raises(ValueError):
+            AxisProfile.from_cores(10, 2, cores=[(0, 4), (2, 6)])
+        with pytest.raises(ValueError):
+            AxisProfile.from_cores(10, 2, cores=[(8, 12)])
+
+    def test_periodic_wrap_distance(self):
+        p = AxisProfile.from_cores(12, b=5, cores=[(0, 1)], periodic=True)
+        a = p.a()
+        assert a[11] == 1  # wraps around
+        assert a[6] == 5
+
+    @given(st.integers(8, 60), st.integers(1, 4), st.integers(1, 3),
+           st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_stretched_always_valid(self, n, b, sigma, periodic):
+        p = AxisProfile.stretched(n, b, sigma=sigma, periodic=periodic)
+        p.validate()
+
+    def test_stretched_small_domain(self):
+        p = AxisProfile.stretched(5, b=4)
+        p.validate()
+        assert p.a()[0] == 0
+
+
+class TestUncutProfile:
+    def test_constant_b(self):
+        p = AxisProfile.uncut(17, b=4)
+        assert set(p.a().tolist()) == {4}
+        assert p.cores == ()
+        assert p.plateaus() == ((0, 17),)
+        p.validate()
+
+    def test_shift_is_identity(self):
+        p = AxisProfile.uncut(17, b=4)
+        assert p.shifted_to_plateaus() is p
+
+
+class TestShiftedToPlateaus:
+    def test_shift_swaps_cores_and_plateaus(self):
+        p = AxisProfile.coarse(60, b=3, core_width=4)
+        q = p.shifted_to_plateaus()
+        plats = set(p.plateaus())
+        q_cores = set(q.cores)
+        # every plateau inside the domain is a core of the shifted one
+        for lo, hi in plats:
+            if 0 <= lo and hi <= 60:
+                assert (lo, hi) in q_cores
+
+    def test_shift_requires_merge_condition(self):
+        p = AxisProfile.coarse(60, b=3, core_width=4, period=30)
+        with pytest.raises(ValueError):
+            p.shifted_to_plateaus()
+
+    def test_double_shift_returns_original_phase(self):
+        p = AxisProfile.coarse(60, b=3, core_width=4)
+        q = p.shifted_to_plateaus().shifted_to_plateaus()
+        assert q.phase == p.phase
+        assert np.array_equal(q.a(), p.a())
+
+
+class TestTessLattice:
+    def test_shape_and_b(self):
+        lat = TessLattice.uniform((10, 12), b=2)
+        assert lat.shape == (10, 12)
+        assert lat.b == 2
+        assert lat.ndim == 2
+
+    def test_mixed_b_rejected(self):
+        p1 = AxisProfile.uniform(10, 2)
+        p2 = AxisProfile.uniform(10, 3)
+        with pytest.raises(ValueError):
+            TessLattice((p1, p2))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TessLattice(())
+
+    def test_distance_arrays(self):
+        lat = TessLattice.uniform((10, 12), b=2)
+        arrs = lat.distance_arrays()
+        assert [len(a) for a in arrs] == [10, 12]
+
+    def test_coarse_constructor(self):
+        lat = TessLattice.coarse((20, 30), b=2, core_widths=(3, 5))
+        assert lat.profiles[0].core_width == 3
+        assert lat.profiles[1].core_width == 5
+        lat.validate()

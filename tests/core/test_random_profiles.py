@@ -1,0 +1,115 @@
+"""The generalised-validity property, tested adversarially.
+
+`repro/core/profiles.py` claims: ANY family of per-axis distance maps
+``a_j : [0, N_j) → [0, b]`` that is 1-Lipschitz in slope units yields a
+correct tessellation schedule.  Here hypothesis synthesises *random*
+Lipschitz profiles — random walks with clamping, nothing like the
+regular core/plateau lattices — and the pointwise executor must still
+match the naive reference bit-for-bit.  This is far stronger than
+testing the built-in constructors: it probes the theorem itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pointwise import run_pointwise
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.stencils import Grid, get_stencil, reference_sweep
+
+
+def random_profile(draw, n: int, b: int, sigma: int = 1,
+                   periodic: bool = False) -> AxisProfile:
+    """A random 1-Lipschitz (in σ units) distance map as a profile."""
+    # random walk on [0, b] with ±1 steps every σ points
+    n_sn = -(-n // sigma)
+    start = draw(st.integers(0, b))
+    steps = draw(st.lists(st.integers(-1, 1), min_size=n_sn - 1,
+                          max_size=n_sn - 1))
+    vals = [start]
+    for s in steps:
+        vals.append(min(b, max(0, vals[-1] + s)))
+    if periodic:
+        # force wrap-consistency: blend the ends together
+        gap = vals[0] - vals[-1]
+        if abs(gap) > 1:
+            # walk the tail towards the head
+            k = abs(gap) - 1
+            for i in range(1, k + 1):
+                idx = len(vals) - 1 - (k - i)
+                target = vals[0] - np.sign(gap) * (k - i)
+                vals[idx] = min(b, max(0, int(target)))
+    a = np.repeat(np.asarray(vals, dtype=np.int64), sigma)[:n]
+    # express as an explicit profile: dist = a * sigma (so ceil(dist/σ)=a)
+    dist = a * sigma
+    prof = AxisProfile(
+        n=n, b=b, sigma=sigma, periodic=periodic,
+        dist=dist, cores=((0, 1),),  # cores unused by the pointwise path
+    )
+    prof.validate()
+    return prof
+
+
+class TestRandomLipschitzProfiles:
+    @given(st.data(), st.integers(8, 40), st.integers(1, 4),
+           st.integers(0, 9))
+    @settings(max_examples=60, deadline=None)
+    def test_1d_dirichlet(self, data, n, b, steps):
+        spec = get_stencil("heat1d")
+        prof = random_profile(data.draw, n, b)
+        g1 = Grid(spec, (n,), seed=n)
+        ref = reference_sweep(spec, g1.copy(), steps)
+        out = run_pointwise(spec, g1.copy(), TessLattice((prof,)), steps,
+                            validate=False)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    @given(st.data(), st.integers(6, 16), st.integers(6, 16),
+           st.integers(1, 3), st.integers(0, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_2d_dirichlet(self, data, nx, ny, b, steps):
+        spec = get_stencil("heat2d")
+        lat = TessLattice((
+            random_profile(data.draw, nx, b),
+            random_profile(data.draw, ny, b),
+        ))
+        g1 = Grid(spec, (nx, ny), seed=nx + ny)
+        ref = reference_sweep(spec, g1.copy(), steps)
+        out = run_pointwise(spec, g1.copy(), lat, steps, validate=False)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    @given(st.data(), st.integers(6, 14), st.integers(1, 2),
+           st.integers(0, 5))
+    @settings(max_examples=20, deadline=None)
+    def test_2d_box_stencil(self, data, n, b, steps):
+        """Box stencils read diagonal neighbours — the Lipschitz
+        condition must suffice for them too (§3.6)."""
+        spec = get_stencil("2d9p")
+        lat = TessLattice((
+            random_profile(data.draw, n, b),
+            random_profile(data.draw, n + 2, b),
+        ))
+        g1 = Grid(spec, (n, n + 2), seed=steps)
+        ref = reference_sweep(spec, g1.copy(), steps)
+        out = run_pointwise(spec, g1.copy(), lat, steps, validate=False)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    @given(st.data(), st.integers(10, 36), st.integers(1, 3),
+           st.integers(0, 7))
+    @settings(max_examples=30, deadline=None)
+    def test_1d_order2_supernodes(self, data, n, b, steps):
+        spec = get_stencil("1d5p")
+        prof = random_profile(data.draw, n, b, sigma=2)
+        g1 = Grid(spec, (n,), seed=n)
+        ref = reference_sweep(spec, g1.copy(), steps)
+        out = run_pointwise(spec, g1.copy(), TessLattice((prof,)), steps,
+                            validate=False)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_violating_profile_is_rejected_by_validate(self):
+        # a non-Lipschitz profile must not pass validation
+        dist = np.array([0, 3, 0, 3, 0, 3, 0, 3], dtype=np.int64)
+        prof = AxisProfile(n=8, b=3, sigma=1, periodic=False,
+                           dist=dist, cores=((0, 1),))
+        with pytest.raises(ValueError):
+            prof.validate()

@@ -1,0 +1,135 @@
+"""Tests for the tessellation → RegionSchedule compiler."""
+
+import numpy as np
+import pytest
+
+from repro.core import make_lattice
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.core.schedules import tess_schedule
+from repro.runtime import schedule_stats, verify_schedule
+from repro.stencils import d1p5, heat1d, heat2d, heat3d
+
+
+class TestPlainSchedule:
+    def test_valid_all_dims(self):
+        for spec, shape, b in [
+            (heat1d(), (40,), 3),
+            (heat2d(), (18, 20), 2),
+            (heat3d(), (10, 11, 9), 2),
+        ]:
+            lat = make_lattice(spec, shape, b)
+            sched = tess_schedule(spec, shape, lat, 2 * b + 1)
+            sched.validate_structure()
+            assert verify_schedule(spec, sched)
+
+    def test_no_redundancy(self):
+        spec = heat2d()
+        lat = make_lattice(spec, (20, 20), 2)
+        sched = tess_schedule(spec, (20, 20), lat, 6)
+        st = schedule_stats(sched)
+        assert st["redundancy"] == 0.0
+
+    def test_groups_per_phase(self):
+        """d+1 barrier groups per full phase (§3.2)."""
+        spec = heat2d()
+        lat = make_lattice(spec, (30, 30), 3)
+        sched = tess_schedule(spec, (30, 30), lat, 9)  # 3 phases
+        assert sched.num_groups == 3 * 3
+
+    def test_zero_steps(self):
+        spec = heat1d()
+        lat = make_lattice(spec, (20,), 2)
+        sched = tess_schedule(spec, (20,), lat, 0)
+        assert sched.tasks == []
+
+    def test_shape_mismatch(self):
+        spec = heat1d()
+        lat = make_lattice(spec, (20,), 2)
+        with pytest.raises(ValueError):
+            tess_schedule(spec, (21,), lat, 4)
+
+    def test_negative_steps(self):
+        spec = heat1d()
+        lat = make_lattice(spec, (20,), 2)
+        with pytest.raises(ValueError):
+            tess_schedule(spec, (20,), lat, -2)
+
+
+class TestMergedSchedule:
+    def test_valid(self):
+        for spec, shape, b in [
+            (heat1d(), (40,), 3),
+            (d1p5(), (50,), 2),
+            (heat2d(), (18, 20), 2),
+            (heat3d(), (10, 11, 9), 2),
+        ]:
+            lat = make_lattice(spec, shape, b)
+            sched = tess_schedule(spec, shape, lat, 2 * b + 1, merged=True)
+            assert verify_schedule(spec, sched)
+
+    def test_one_less_barrier_per_phase(self):
+        """§4.3: merging saves one synchronisation per phase."""
+        spec = heat2d()
+        lat = make_lattice(spec, (30, 30), 3)
+        phases = 4
+        plain = tess_schedule(spec, (30, 30), lat, 3 * phases)
+        merged = tess_schedule(spec, (30, 30), lat, 3 * phases, merged=True)
+        # plain: (d+1) per phase; merged: d per phase plus the prologue
+        assert plain.num_groups == (2 + 1) * phases
+        assert merged.num_groups == 2 * phases + 1
+
+    def test_same_total_work(self):
+        spec = heat2d()
+        lat = make_lattice(spec, (24, 26), 2)
+        plain = tess_schedule(spec, (24, 26), lat, 8)
+        merged = tess_schedule(spec, (24, 26), lat, 8, merged=True)
+        assert plain.total_points() == merged.total_points()
+        assert plain.total_points() == 24 * 26 * 8
+
+    def test_uncut_axis_merged(self):
+        spec = heat3d()
+        shape = (12, 12, 10)
+        lat = make_lattice(spec, shape, 2, uncut_dims=(2,))
+        sched = tess_schedule(spec, shape, lat, 7, merged=True)
+        assert verify_schedule(spec, sched)
+
+
+class TestScheduleWorkAccounting:
+    def test_every_point_updated_each_step(self):
+        """Across one schedule, each (point, step) occurs exactly once."""
+        spec = heat2d()
+        shape = (13, 14)
+        lat = make_lattice(spec, shape, 2)
+        sched = tess_schedule(spec, shape, lat, 5)
+        seen = np.zeros((5,) + shape, dtype=np.int32)
+        for task in sched.tasks:
+            for a in task.actions:
+                idx = (a.t,) + tuple(slice(lo, hi) for lo, hi in a.region)
+                seen[idx] += 1
+        assert np.array_equal(seen, np.ones_like(seen))
+
+    def test_actions_respect_dependences_groupwise(self):
+        """Within a group ordering, no action at t may precede (in group
+        order) a distinct group's action at t-1 that it reads from."""
+        spec = heat1d()
+        lat = make_lattice(spec, (30,), 3)
+        sched = tess_schedule(spec, (30,), lat, 6)
+        # reconstruct: executing groups in order must advance every
+        # point monotonically in time; inside a task, its own earlier
+        # actions also count as available inputs
+        last_time = np.zeros(30, dtype=np.int64)
+        for gid in sorted(sched.groups()):
+            for task in sched.groups()[gid]:
+                own = last_time.copy()
+                for a in task.actions:
+                    lo, hi = a.region[0]
+                    # reads reach one slope past the region
+                    rlo, rhi = max(0, lo - 1), min(30, hi + 1)
+                    assert np.all(own[rlo:rhi] >= a.t), (
+                        "action runs before its inputs exist"
+                    )
+                    own[lo:hi] = np.maximum(own[lo:hi], a.t + 1)
+            for task in sched.groups()[gid]:
+                for a in task.actions:
+                    lo, hi = a.region[0]
+                    last_time[lo:hi] = np.maximum(last_time[lo:hi], a.t + 1)

@@ -1,0 +1,199 @@
+"""Property and unit tests for the update-time functions (§3.4–3.5).
+
+These are the paper's Lemmas 3.1–3.4 and Theorems 3.5/3.6 turned into
+executable checks, plus the derived identities the executors rely on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import timefunc as tf
+
+# distance vectors a with entries in [0, b]
+dist_vectors = st.integers(min_value=1, max_value=8).flatmap(
+    lambda b: st.tuples(
+        st.just(b),
+        st.lists(st.integers(min_value=0, max_value=b), min_size=1,
+                 max_size=5),
+    )
+)
+
+
+class TestSortedForms:
+    def test_sorted_desc_simple(self):
+        assert tf.sorted_desc([1, 3, 2]).tolist() == [3, 2, 1]
+
+    def test_sorted_desc_batch(self):
+        out = tf.sorted_desc([[1, 2], [4, 3]])
+        assert out.tolist() == [[2, 1], [4, 3]]
+
+    def test_padded_sorted_sentinels(self):
+        p = tf.padded_sorted([2, 0, 1], b=3)
+        assert p.tolist() == [3, 2, 1, 0, 0]
+
+    def test_padded_sorted_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            tf.padded_sorted([4], b=3)
+        with pytest.raises(ValueError):
+            tf.padded_sorted([-1], b=3)
+
+    def test_scalar_input_rejected(self):
+        with pytest.raises(ValueError):
+            tf.sorted_desc(np.int64(3))
+
+
+class TestUpdateCounts:
+    def test_1d_triangle_block(self):
+        # the paper's 1D example: block (0,1,2,3,2,1,0) at b=3 — the
+        # centre point of B_0 (distance 0) is updated 3 times in stage 0
+        assert tf.update_counts([0], b=3).tolist() == [3, 0]
+        assert tf.update_counts([3], b=3).tolist() == [0, 3]
+        assert tf.update_counts([1], b=3).tolist() == [2, 1]
+
+    def test_2d_gap_form(self):
+        # a = (1, 2), b = 3: sorted (2, 1): T = (1, 1, 1)
+        assert tf.update_counts([1, 2], b=3).tolist() == [1, 1, 1]
+
+    def test_number_of_stages(self):
+        for d in range(1, 6):
+            counts = tf.update_counts([0] * d, b=2)
+            assert counts.shape[-1] == d + 1
+
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_theorem_3_5_sum_is_b(self, bv):
+        b, a = bv
+        assert tf.update_counts(a, b).sum() == b
+        assert bool(np.all(tf.theorem_3_5_holds(a, b)))
+
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_counts_nonnegative(self, bv):
+        b, a = bv
+        assert tf.update_counts(a, b).min() >= 0
+
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_permutation_invariance(self, bv):
+        b, a = bv
+        perm = list(reversed(a))
+        assert (tf.update_counts(a, b).tolist()
+                == tf.update_counts(perm, b).tolist())
+
+
+class TestStageWindows:
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_windows_partition_the_phase(self, bv):
+        """Windows of consecutive stages abut: [0,b) is exactly covered."""
+        b, a = bv
+        d = len(a)
+        prev_end = 0
+        for i in range(d + 1):
+            start, end = tf.stage_window(a, b, i)
+            assert start == prev_end
+            assert end - start == tf.update_counts(a, b)[i]
+            prev_end = end
+        assert prev_end == b
+
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_stage_index_matches_windows(self, bv):
+        """The derived identity: update s→s+1 happens in stage
+        #{j: a_j >= b-s}, which must lie inside that stage's window."""
+        b, a = bv
+        for s in range(b):
+            i = int(tf.stage_index(a, b, s))
+            start, end = tf.stage_window(a, b, i)
+            assert start <= s < end
+
+    def test_stage_window_bad_stage(self):
+        with pytest.raises(ValueError):
+            tf.stage_window([1, 2], 3, 3)
+
+    def test_stage_index_bad_step(self):
+        with pytest.raises(ValueError):
+            tf.stage_index([1], 3, 3)
+        with pytest.raises(ValueError):
+            tf.stage_index([1], 3, -1)
+
+
+class TestAccumulatedTime:
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_prefix_sums(self, bv):
+        b, a = bv
+        counts = tf.update_counts(a, b)
+        acc = 0
+        assert tf.accumulated_time(a, b, -1) == 0
+        for i in range(len(a) + 1):
+            acc += counts[i]
+            assert tf.accumulated_time(a, b, i) == acc
+        assert acc == b
+
+    def test_bad_stage(self):
+        with pytest.raises(ValueError):
+            tf.accumulated_time([1], 2, 2)
+
+
+class TestLiteralPaperForms:
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_lemma_3_2_equals_gap_form(self, bv):
+        b, a = bv
+        counts = tf.update_counts(a, b)
+        for i in range(len(a) + 1):
+            assert tf.lemma_3_2(a, b, i) == counts[i]
+
+    def test_lemma_3_2_paper_t0_td(self):
+        # T_0 = b - max(a); T_d = min(a)
+        a = [2, 1, 3]
+        assert tf.lemma_3_2(a, 4, 0) == 4 - 3
+        assert tf.lemma_3_2(a, 4, 3) == 1
+
+    @given(st.integers(2, 5), st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_lemma_3_4_unique_positive_split(self, d, data):
+        """Exactly the i-largest split gives min(A1)-max(A2) >= 0; all
+        others give <= 0 (Lemma 3.4)."""
+        import itertools
+
+        b = 6
+        a = data.draw(st.lists(st.integers(0, b), min_size=d, max_size=d))
+        order = sorted(range(d), key=lambda j: -a[j])
+        for i in range(1, d):
+            best = tuple(sorted(order[:i]))
+            for S in itertools.combinations(range(d), i):
+                v = tf.lemma_3_4_split(a, i, S)
+                if S == best:
+                    assert v >= 0
+                else:
+                    assert v <= 0 or sorted(a[j] for j in S) == sorted(
+                        a[j] for j in best
+                    )
+
+    def test_lemma_3_4_rejects_bad_split(self):
+        with pytest.raises(ValueError):
+            tf.lemma_3_4_split([1, 2], 1, (0, 1))
+        with pytest.raises(ValueError):
+            tf.lemma_3_4_split([1, 2], 0, ())
+        with pytest.raises(ValueError):
+            tf.lemma_3_4_split([1, 2], 2, (0, 1))
+
+
+class TestTheorem36:
+    @given(dist_vectors, st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_neighbor_accumulated_times(self, bv, data):
+        """±1-apart distance vectors satisfy the correctness condition."""
+        b, a = bv
+        delta = data.draw(st.lists(st.integers(-1, 1), min_size=len(a),
+                                   max_size=len(a)))
+        neigh = [min(b, max(0, x + dx)) for x, dx in zip(a, delta)]
+        assert tf.theorem_3_6_holds(a, neigh, b)
+
+    def test_rejects_non_neighbors(self):
+        with pytest.raises(ValueError):
+            tf.theorem_3_6_holds([0, 0], [2, 0], 3)

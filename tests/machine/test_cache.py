@@ -1,0 +1,128 @@
+"""Tests for the set-associative LRU cache simulator."""
+
+import pytest
+
+from repro.machine.cache import CacheHierarchy, SetAssociativeCache
+
+
+class TestSingleCache:
+    def test_cold_miss_then_hit(self):
+        c = SetAssociativeCache(1024, line_bytes=64, ways=2)
+        assert not c.access(0)
+        assert c.access(0)
+        assert c.access(63)          # same line
+        assert not c.access(64)      # next line
+
+    def test_lru_eviction_order(self):
+        # 2 ways, 1 set: fully associative pair
+        c = SetAssociativeCache(128, line_bytes=64, ways=2)
+        c.access(0)       # A
+        c.access(64)      # B
+        c.access(0)       # touch A -> B is LRU
+        c.access(128)     # C evicts B
+        assert c.access(0)            # A still resident
+        assert not c.access(64)       # B was evicted
+
+    def test_dirty_writeback(self):
+        c = SetAssociativeCache(64, line_bytes=64, ways=1)
+        c.access(0, is_write=True)
+        c.access(64)  # evicts dirty line
+        assert c.stats.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = SetAssociativeCache(64, line_bytes=64, ways=1)
+        c.access(0)
+        c.access(64)
+        assert c.stats.writebacks == 0
+        assert c.stats.evictions == 1
+
+    def test_set_mapping_conflicts(self):
+        # 2 sets, 1 way: addresses 0 and 128 conflict, 0 and 64 do not
+        c = SetAssociativeCache(128, line_bytes=64, ways=1)
+        c.access(0)
+        c.access(64)
+        assert c.access(0)
+        c.access(128)  # conflicts with 0
+        assert not c.access(0)
+
+    def test_fully_associative_via_ways0(self):
+        c = SetAssociativeCache(256, line_bytes=64, ways=0)
+        assert c.num_sets == 1
+        assert c.ways == 4
+
+    def test_flush_counts_dirty(self):
+        c = SetAssociativeCache(256, line_bytes=64, ways=4)
+        c.access(0, is_write=True)
+        c.access(64)
+        assert c.flush() == 1
+        assert c.resident_lines() == 0
+
+    def test_stats_miss_rate(self):
+        c = SetAssociativeCache(256, line_bytes=64)
+        c.access(0)
+        c.access(0)
+        assert c.stats.miss_rate == pytest.approx(0.5)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(32, line_bytes=64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(192, line_bytes=64, ways=2)
+
+
+class TestHierarchy:
+    def _hier(self):
+        return CacheHierarchy([
+            SetAssociativeCache(128, 64, ways=2),
+            SetAssociativeCache(512, 64, ways=2),
+        ])
+
+    def test_levels_probe_order(self):
+        h = self._hier()
+        assert h.access(0) == 2      # memory
+        assert h.access(0) == 0      # L1 hit
+        # fill L1 beyond capacity; the victim still hits L2
+        h.access(64)
+        h.access(128)
+        assert h.access(0) in (0, 1)
+
+    def test_memory_traffic(self):
+        h = self._hier()
+        for i in range(4):
+            h.access(i * 64)
+        assert h.mem_reads == 4
+        assert h.memory_traffic_bytes == 4 * 64
+
+    def test_flush_writes_dirty(self):
+        h = self._hier()
+        h.access(0, is_write=True)
+        h.flush()
+        assert h.mem_writes >= 1
+
+    def test_working_set_fits(self):
+        """A loop over a fitting working set misses only once per line."""
+        h = CacheHierarchy([SetAssociativeCache(4096, 64, ways=0)])
+        for _ in range(5):
+            for i in range(32):
+                h.access(i * 64)
+        assert h.mem_reads == 32
+
+    def test_streaming_misses_every_time(self):
+        h = CacheHierarchy([SetAssociativeCache(1024, 64, ways=0)])
+        for _ in range(3):
+            for i in range(64):  # 4 KB >> 1 KB cache
+                h.access(i * 64)
+        assert h.mem_reads == 3 * 64
+
+    def test_mixed_line_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([
+                SetAssociativeCache(128, 64),
+                SetAssociativeCache(128, 32),
+            ])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CacheHierarchy([])

@@ -1,0 +1,165 @@
+"""Tests for the machine spec and the roofline/LPT cost model."""
+
+import pytest
+
+from repro.baselines import diamond_schedule, naive_schedule
+from repro.core import make_lattice
+from repro.core.schedules import tess_schedule
+from repro.machine.model import (
+    LLCResidency,
+    SimResult,
+    _lpt_makespan,
+    scaling_curve,
+    simulate,
+)
+from repro.machine.spec import laptop_machine, paper_machine
+from repro.stencils import heat1d, heat2d
+
+
+class TestMachineSpec:
+    def test_paper_machine_matches_section_5_1(self):
+        m = paper_machine()
+        assert m.cores == 24
+        assert m.sockets == 2
+        assert m.freq_hz == pytest.approx(2.7e9)
+        assert m.l1_bytes == 32 * 1024
+        assert m.l2_bytes == 256 * 1024
+        assert m.llc_bytes == 30 * 1024 * 1024
+
+    def test_bandwidth_model_monotone(self):
+        m = paper_machine()
+        bws = [m.mem_bw_for(p) for p in (1, 4, 12, 13, 24)]
+        assert all(b2 >= b1 for b1, b2 in zip(bws, bws[1:]))
+        assert m.mem_bw_for(24) == m.total_mem_bw
+
+    def test_single_core_cannot_saturate_socket(self):
+        m = paper_machine()
+        assert m.mem_bw_for(1) < m.mem_bw_bytes
+
+    def test_barrier_grows_with_cores(self):
+        m = paper_machine()
+        assert m.barrier_s(24) > m.barrier_s(1)
+
+    def test_scaled_caches(self):
+        m = paper_machine().scaled_caches(0.5)
+        assert m.llc_bytes == 15 * 1024 * 1024
+        assert m.cores == 24  # structure untouched
+        with pytest.raises(ValueError):
+            paper_machine().scaled_caches(0)
+        with pytest.raises(ValueError):
+            paper_machine().scaled_caches(2.0)
+
+    def test_scaled_caches_floor(self):
+        m = paper_machine().scaled_caches(1e-9)
+        assert m.l1_bytes >= 4 * m.cache_line
+
+    def test_bw_for_bad_cores(self):
+        with pytest.raises(ValueError):
+            paper_machine().mem_bw_for(0)
+
+
+class TestLPT:
+    def test_empty(self):
+        assert _lpt_makespan([], 4) == (0.0, 1.0)
+
+    def test_single_core_sums(self):
+        ms, imb = _lpt_makespan([1.0, 2.0, 3.0], 1)
+        assert ms == 6.0
+        assert imb == pytest.approx(1.0)
+
+    def test_perfect_balance(self):
+        ms, imb = _lpt_makespan([1.0] * 8, 4)
+        assert ms == 2.0
+        assert imb == pytest.approx(1.0)
+
+    def test_imbalance_with_fewer_tasks_than_cores(self):
+        ms, imb = _lpt_makespan([1.0, 1.0], 4)
+        assert ms == 1.0
+        assert imb == pytest.approx(2.0)
+
+    def test_lpt_packs_longest_first(self):
+        # LPT is a 4/3-approximation, not optimal: {3,2,2}/{3,2} here
+        ms, _ = _lpt_makespan([3.0, 3.0, 2.0, 2.0, 2.0], 2)
+        assert ms == pytest.approx(7.0)
+        # but it does beat naive in-order packing on this case
+        assert ms <= 4.0 / 3.0 * 6.0
+
+
+class TestLLCResidency:
+    def test_cold_then_free(self):
+        llc = LLCResidency(1e9)
+        box = ((0, 10), (0, 10))
+        assert llc.charge(box, 1000.0) == 1000.0
+        assert llc.charge(box, 1000.0) == 0.0
+
+    def test_partial_overlap(self):
+        llc = LLCResidency(1e9)
+        llc.charge(((0, 10),), 100.0)
+        got = llc.charge(((5, 15),), 100.0)
+        assert got == pytest.approx(50.0)
+
+    def test_capacity_eviction(self):
+        llc = LLCResidency(150.0)
+        llc.charge(((0, 10),), 100.0)
+        llc.charge(((10, 20),), 100.0)  # evicts the first box
+        assert llc.charge(((0, 10),), 100.0) == pytest.approx(100.0)
+
+    def test_none_box_full_charge(self):
+        llc = LLCResidency(1e9)
+        assert llc.charge(None, 77.0) == 77.0
+
+
+class TestSimulate:
+    def _setup(self):
+        spec = heat2d()
+        shape = (120, 120)
+        lat = make_lattice(spec, shape, 4)
+        return spec, tess_schedule(spec, shape, lat, 12)
+
+    def test_result_fields(self):
+        spec, sched = self._setup()
+        r = simulate(spec, sched, laptop_machine(), 2)
+        assert r.time_s > 0
+        assert r.useful_points == 120 * 120 * 12
+        assert r.gstencils > 0
+        assert r.gflops == pytest.approx(
+            r.gstencils * spec.flops_per_point
+        )
+        assert r.barriers == sched.num_groups
+
+    def test_more_cores_never_slower(self):
+        spec, sched = self._setup()
+        m = paper_machine()
+        times = [simulate(spec, sched, m, p).time_s for p in (1, 4, 12)]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_scaling_curve_shares_taskgraph(self):
+        spec, sched = self._setup()
+        rs = scaling_curve(spec, sched, laptop_machine(), [1, 2, 4])
+        assert [r.cores for r in rs] == [1, 2, 4]
+
+    def test_tiled_traffic_below_naive(self):
+        spec = heat2d()
+        shape = (512, 512)
+        steps = 16
+        m = paper_machine().scaled_caches(0.05)
+        naive = simulate(spec, naive_schedule(spec, shape, steps, 8), m, 8)
+        lat = make_lattice(spec, shape, 8)
+        tess = simulate(spec, tess_schedule(spec, shape, lat, steps), m, 8)
+        assert tess.traffic_bytes < 0.7 * naive.traffic_bytes
+
+    def test_overhead_factor_slows_down(self):
+        spec = heat1d()
+        sched = diamond_schedule(spec, (4000,), 8, 16)
+        m = paper_machine()
+        base = simulate(spec, sched, m, 4).time_s
+        sched.task_overhead_factor = 10.0
+        slow = simulate(spec, sched, m, 4).time_s
+        assert slow > base
+
+    def test_bad_core_count(self):
+        spec, sched = self._setup()
+        with pytest.raises(ValueError):
+            simulate(spec, sched, laptop_machine(), 0)
+        with pytest.raises(ValueError):
+            simulate(spec, sched, laptop_machine(), 999)

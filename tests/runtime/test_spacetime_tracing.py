@@ -1,0 +1,109 @@
+"""Tests for the space-time renderer and the execution tracer."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, get_stencil, make_lattice, reference_sweep
+from repro.baselines import diamond_schedule, naive_schedule, trapezoid_schedule
+from repro.core.schedules import tess_schedule
+from repro.runtime.spacetime import (
+    coverage_gaps,
+    group_spans,
+    render_spacetime,
+    spacetime_matrix,
+)
+from repro.runtime.tracing import traced_execute
+
+
+@pytest.fixture()
+def spec():
+    return get_stencil("heat1d")
+
+
+class TestSpacetime:
+    def test_no_gaps_in_valid_schedules(self, spec):
+        for sched in (
+            naive_schedule(spec, (40,), 6),
+            diamond_schedule(spec, (40,), 3, 6),
+            tess_schedule(spec, (40,), make_lattice(spec, (40,), 3), 6),
+            tess_schedule(spec, (40,), make_lattice(spec, (40,), 3), 6,
+                          merged=True),
+            trapezoid_schedule(spec, (40,), 6, base_dt=2),
+        ):
+            assert coverage_gaps(sched) == 0, sched.scheme
+
+    def test_matrix_shape_and_marks(self, spec):
+        sched = naive_schedule(spec, (10,), 3)
+        m = spacetime_matrix(sched)
+        assert m.shape == (3, 10)
+        assert set(np.unique(m)) == {0, 1, 2}  # one group per step
+
+    def test_render_contains_rows(self, spec):
+        sched = diamond_schedule(spec, (24,), 3, 6)
+        art = render_spacetime(sched)
+        assert art.count("t=") == 6
+        assert "." not in art.split("\n")[0].split("|")[1]
+
+    def test_render_width_clip(self, spec):
+        sched = naive_schedule(spec, (50,), 2)
+        art = render_spacetime(sched, width=10)
+        body = art.splitlines()[0].split("|")[1]
+        assert len(body) == 10
+
+    def test_group_spans_diamond_vs_naive(self, spec):
+        b = 3
+        naive = naive_schedule(spec, (40,), 6)
+        assert set(group_spans(naive).values()) == {1}
+        diam = diamond_schedule(spec, (40,), b, 6)
+        assert max(group_spans(diam).values()) == b
+        merged = tess_schedule(spec, (40,),
+                               make_lattice(spec, (40,), b), 6, merged=True)
+        assert max(group_spans(merged).values()) == 2 * b
+
+    def test_rejects_2d(self):
+        spec2 = get_stencil("heat2d")
+        sched = naive_schedule(spec2, (8, 8), 2)
+        with pytest.raises(ValueError):
+            spacetime_matrix(sched)
+
+
+class TestTracing:
+    def test_traced_matches_reference(self, spec):
+        g1 = Grid(spec, (60,), seed=3)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 8)
+        sched = diamond_schedule(spec, (60,), 4, 8)
+        out, trace = traced_execute(spec, g2, sched)
+        assert np.allclose(ref, out, rtol=1e-11)
+        assert len(trace.tasks) == len(sched.tasks)
+        assert trace.total_seconds > 0
+        assert trace.points_per_second() > 0
+
+    def test_group_seconds_partition_total(self, spec):
+        g = Grid(spec, (60,), seed=3)
+        sched = naive_schedule(spec, (60,), 4, chunks=3)
+        _, trace = traced_execute(spec, g, sched)
+        assert sum(trace.group_seconds().values()) == pytest.approx(
+            trace.total_seconds
+        )
+
+    def test_overhead_fit(self, spec):
+        # mix task sizes so the fit is well-conditioned
+        g = Grid(spec, (4000,), seed=1)
+        s1 = naive_schedule(spec, (4000,), 2, chunks=1)
+        s2 = naive_schedule(spec, (4000,), 2, chunks=40)
+        s1.tasks.extend(s2.tasks)
+        _, trace = traced_execute(spec, g, s1)
+        a, c = trace.overhead_estimate()
+        assert np.isfinite(a) and np.isfinite(c)
+        # the fit reconstructs the measured total to first order
+        pred = sum(a + c * t.points for t in trace.tasks)
+        assert pred == pytest.approx(trace.total_seconds, rel=0.5)
+
+    def test_rejects_private(self, spec):
+        from repro.baselines import overlapped_schedule
+
+        g = Grid(spec, (40,), seed=0)
+        sched = overlapped_schedule(spec, (40,), 4, (10,), 2)
+        with pytest.raises(ValueError):
+            traced_execute(spec, g, sched)

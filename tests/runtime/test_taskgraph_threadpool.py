@@ -1,0 +1,134 @@
+"""Tests for task-graph analysis, threaded execution and levelling."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import diamond_schedule, naive_schedule, trapezoid_schedule
+from repro.core import make_lattice
+from repro.core.schedules import tess_schedule
+from repro.runtime import (
+    build_taskgraph,
+    execute_threaded,
+    levelize,
+    verify_schedule,
+)
+from repro.stencils import Grid, heat1d, heat2d, reference_sweep
+
+
+class TestTaskGraph:
+    def _graph(self):
+        spec = heat2d()
+        lat = make_lattice(spec, (20, 22), 2)
+        sched = tess_schedule(spec, (20, 22), lat, 6)
+        return spec, sched, build_taskgraph(spec, sched)
+
+    def test_work_accounting(self):
+        spec, sched, tg = self._graph()
+        assert tg.work_points() == 20 * 22 * 6
+        assert tg.work_flops() == 20 * 22 * 6 * spec.flops_per_point
+
+    def test_barriers_match_groups(self):
+        _, sched, tg = self._graph()
+        assert tg.num_barriers == sched.num_groups
+
+    def test_span_le_work(self):
+        _, _, tg = self._graph()
+        assert 0 < tg.span_flops() <= tg.work_flops()
+
+    def test_concurrency_profile(self):
+        _, sched, tg = self._graph()
+        prof = tg.concurrency_profile()
+        assert len(prof) == tg.num_groups
+        assert sum(prof) == len(tg.nodes)
+
+    def test_average_parallelism_at_least_one(self):
+        _, _, tg = self._graph()
+        assert tg.average_parallelism() >= 1.0
+
+    def test_footprint_includes_halo_and_buffers(self):
+        spec = heat1d()
+        sched = naive_schedule(spec, (10,), 1)
+        tg = build_taskgraph(spec, sched)
+        node = tg.nodes[0]
+        # two buffers of 10 points + 2 halo points, 8 bytes each
+        assert node.footprint_bytes == (2 * 10 + 2) * 8
+        assert node.bbox == ((0, 10),)
+
+
+class TestThreadpool:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_reference(self, threads):
+        spec = heat2d()
+        shape = (18, 20)
+        g1 = Grid(spec, shape, seed=3)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 6)
+        lat = make_lattice(spec, shape, 2)
+        sched = tess_schedule(spec, shape, lat, 6)
+        out = execute_threaded(spec, g2, sched, num_threads=threads)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_diamond_threaded(self):
+        spec = heat1d()
+        g1 = Grid(spec, (64,), seed=5)
+        g2 = g1.copy()
+        ref = reference_sweep(spec, g1, 8)
+        sched = diamond_schedule(spec, (64,), 4, 8)
+        out = execute_threaded(spec, g2, sched, num_threads=3)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_bad_thread_count(self):
+        spec = heat1d()
+        g = Grid(spec, (10,), seed=0)
+        sched = naive_schedule(spec, (10,), 1)
+        with pytest.raises(ValueError):
+            execute_threaded(spec, g, sched, num_threads=0)
+
+
+class TestLevelize:
+    def test_preserves_validity(self):
+        spec = heat2d()
+        raw = trapezoid_schedule(spec, (40, 36), 10, base_dt=2,
+                                 base_widths=(10, 10))
+        assert verify_schedule(spec, levelize(spec, raw))
+
+    def test_never_more_groups(self):
+        spec = heat2d()
+        raw = trapezoid_schedule(spec, (60, 60), 12, base_dt=3,
+                                 base_widths=(12, 12))
+        lev = levelize(spec, raw)
+        assert lev.num_groups <= raw.num_groups
+        assert len(lev.tasks) == len([t for t in raw.tasks if t.actions])
+
+    def test_increases_mean_width(self):
+        from repro.runtime import schedule_stats
+
+        spec = heat2d()
+        raw = trapezoid_schedule(spec, (80, 80), 12, base_dt=3,
+                                 base_widths=(12, 12))
+        lev = levelize(spec, raw)
+        assert (schedule_stats(lev)["mean_group_width"]
+                >= schedule_stats(raw)["mean_group_width"])
+
+    def test_preserves_flags(self):
+        spec = heat1d()
+        raw = trapezoid_schedule(spec, (40,), 6, base_dt=2)
+        raw.group_sync_cost = 0.5
+        raw.task_overhead_factor = 2.0
+        lev = levelize(spec, raw)
+        assert lev.group_sync_cost == 0.5
+        assert lev.task_overhead_factor == 2.0
+
+    def test_empty_schedule(self):
+        spec = heat1d()
+        raw = trapezoid_schedule(spec, (40,), 0)
+        lev = levelize(spec, raw)
+        assert lev.tasks == []
+
+    def test_naive_levels_equal_steps(self):
+        """Naive slabs: each step depends on the previous — levels
+        must equal time steps exactly."""
+        spec = heat1d()
+        raw = naive_schedule(spec, (30,), 5, chunks=3)
+        lev = levelize(spec, raw)
+        assert lev.num_groups == 5

@@ -1,0 +1,126 @@
+"""Tests for custom stencils — arbitrary, anisotropic and
+variable-coefficient kernels through the full tessellation stack."""
+
+import numpy as np
+import pytest
+
+from repro import Grid, make_lattice, run_blocked, run_merged, run_pointwise
+from repro.stencils import reference_sweep
+from repro.stencils.custom import (
+    VariableCoefficientOperator,
+    anisotropic_star,
+    custom_box,
+    custom_star,
+    variable_coefficient,
+)
+
+
+def _check_all_executors(spec, shape, b, steps, core_widths=None):
+    g_ref = Grid(spec, shape, seed=7)
+    ref = reference_sweep(spec, g_ref.copy(), steps)
+    lat = make_lattice(spec, shape, b, core_widths=core_widths)
+    for runner in (run_pointwise, run_blocked, run_merged):
+        out = runner(spec, g_ref.copy(), lat, steps)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12), runner.__name__
+
+
+class TestCustomStarBox:
+    def test_order3_star_1d(self):
+        spec = custom_star(1, 3)
+        assert spec.slopes == (3,)
+        _check_all_executors(spec, (80,), 2, 5)
+
+    def test_order2_star_2d(self):
+        spec = custom_star(2, 2)
+        assert spec.num_neighbors == 9
+        _check_all_executors(spec, (26, 24), 2, 5)
+
+    def test_4d_star(self):
+        """Beyond the paper's 3D experiments: d = 4 works unchanged."""
+        spec = custom_star(4, 1)
+        _check_all_executors(spec, (7, 6, 7, 6), 1, 3)
+
+    def test_order2_box_2d(self):
+        spec = custom_box(2, order=2)
+        assert spec.num_neighbors == 25
+        assert spec.slopes == (2, 2)
+        _check_all_executors(spec, (30, 28), 2, 4)
+
+    def test_mass_conserving_defaults(self):
+        for spec in (custom_star(2, 2, boundary="periodic"),
+                     custom_box(2, 1, boundary="periodic")):
+            u = np.full((12, 12), 2.5)
+            assert np.allclose(spec.operator.apply_wrapped(u), u)
+
+    def test_box_missing_class_rejected(self):
+        with pytest.raises(ValueError):
+            custom_box(2, 1, weights_by_class={0: 1.0})
+
+
+class TestAnisotropicStar:
+    def test_slopes(self):
+        spec = anisotropic_star((2, 1))
+        assert spec.slopes == (2, 1)
+
+    def test_executors_2d(self):
+        spec = anisotropic_star((2, 1))
+        _check_all_executors(spec, (40, 22), 2, 5)
+
+    def test_executors_3d(self):
+        spec = anisotropic_star((1, 2, 1))
+        _check_all_executors(spec, (10, 18, 9), 1, 3)
+
+    def test_bad_orders(self):
+        with pytest.raises(ValueError):
+            anisotropic_star(())
+        with pytest.raises(ValueError):
+            anisotropic_star((0, 1))
+
+
+class TestVariableCoefficient:
+    def test_executors_1d(self):
+        spec = variable_coefficient(1, (50,))
+        _check_all_executors(spec, (50,), 3, 7)
+
+    def test_executors_2d(self):
+        spec = variable_coefficient(2, (18, 16))
+        _check_all_executors(spec, (18, 16), 2, 5)
+
+    def test_periodic_pointwise(self):
+        from repro.core.profiles import AxisProfile, TessLattice
+
+        spec = variable_coefficient(1, (24,), boundary="periodic")
+        g1 = Grid(spec, (24,), seed=3)
+        ref = reference_sweep(spec, g1.copy(), 6)
+        lat = TessLattice((AxisProfile.uniform(24, 2, periodic=True),))
+        out = run_pointwise(spec, g1.copy(), lat, 6)
+        assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
+
+    def test_constant_field_fixed_point(self):
+        spec = variable_coefficient(2, (10, 10), boundary="periodic")
+        u = np.full((10, 10), 1.5)
+        assert np.allclose(spec.operator.apply_wrapped(u), u)
+
+    def test_heterogeneity_is_real(self):
+        """Distinct points evolve differently under identical inputs."""
+        spec = variable_coefficient(1, (30,))
+        g = Grid(spec, (30,), init="zeros")
+        g.interior(0)[...] = 1.0
+        reference_sweep(spec, g, 1)
+        inner = g.interior(1)[2:-2]
+        assert inner.std() > 0  # Dirichlet edges aside, still varied
+
+    def test_validation(self):
+        from repro.stencils.operators import star_offsets
+
+        offs = star_offsets(1, 1)
+        with pytest.raises(ValueError):
+            VariableCoefficientOperator(offs, [np.ones(5)])
+        with pytest.raises(ValueError):
+            VariableCoefficientOperator(
+                offs, [np.ones(5), np.ones(6), np.ones(5)]
+            )
+        with pytest.raises(ValueError):
+            VariableCoefficientOperator(
+                offs, [np.ones((5, 2))] * 3
+            )

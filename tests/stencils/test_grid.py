@@ -1,0 +1,80 @@
+"""Tests for grids and initial conditions."""
+
+import numpy as np
+import pytest
+
+from repro.stencils import Grid, game_of_life, heat1d, heat2d, make_grid
+
+
+class TestMakeGrid:
+    def test_padded_shape(self):
+        arr = make_grid(heat2d(), (5, 6))
+        assert arr.shape == (7, 8)
+
+    def test_halo_is_zero(self):
+        arr = make_grid(heat1d(), (5,), init="random")
+        assert arr[0] == 0 and arr[-1] == 0
+
+    def test_random_deterministic(self):
+        a = make_grid(heat1d(), (10,), seed=3)
+        b = make_grid(heat1d(), (10,), seed=3)
+        assert np.array_equal(a, b)
+        c = make_grid(heat1d(), (10,), seed=4)
+        assert not np.array_equal(a, c)
+
+    def test_integer_grid_random_is_binary(self):
+        arr = make_grid(game_of_life(), (8, 8), init="random")
+        assert set(np.unique(arr)) <= {0, 1}
+
+    def test_zeros(self):
+        assert not make_grid(heat1d(), (7,), init="zeros").any()
+
+    def test_impulse(self):
+        arr = make_grid(heat2d(), (5, 5), init="impulse")
+        assert arr.sum() == 1
+        assert arr[1 + 2, 1 + 2] == 1
+
+    def test_gradient_monotone(self):
+        arr = make_grid(heat1d(), (10,), init="gradient")
+        inner = arr[1:-1]
+        assert np.all(np.diff(inner) >= 0)
+
+    def test_gradient_integer(self):
+        arr = make_grid(game_of_life(), (6, 6), init="gradient")
+        assert set(np.unique(arr)) <= {0, 1}
+
+    def test_unknown_init(self):
+        with pytest.raises(ValueError):
+            make_grid(heat1d(), (5,), init="chaos")
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            make_grid(heat2d(), (5,))
+
+    def test_nonpositive_shape(self):
+        with pytest.raises(ValueError):
+            make_grid(heat1d(), (0,))
+
+
+class TestGrid:
+    def test_ping_pong_parity(self):
+        g = Grid(heat1d(), (6,), seed=0)
+        assert g.at(0) is g.buffers[0]
+        assert g.at(1) is g.buffers[1]
+        assert g.at(2) is g.buffers[0]
+
+    def test_interior_view_writes_through(self):
+        g = Grid(heat1d(), (6,), init="zeros")
+        g.interior(0)[...] = 7.0
+        assert g.at(0)[1] == 7.0
+        assert g.at(0)[0] == 0.0  # halo untouched
+
+    def test_points(self):
+        assert Grid(heat2d(), (4, 5), init="zeros").points() == 20
+
+    def test_copy_is_independent(self):
+        g = Grid(heat1d(), (6,), seed=1)
+        h = g.copy()
+        h.interior(0)[...] = 0
+        assert g.interior(0).any()
+        assert g.spec is h.spec

@@ -1,0 +1,70 @@
+"""Tests for the seven paper benchmark kernels."""
+
+import numpy as np
+import pytest
+
+from repro.stencils import STENCIL_REGISTRY, get_stencil
+
+
+EXPECTED = {
+    # name -> (ndim, shape class, neighbour count, slopes)
+    "heat1d": (1, "star", 3, (1,)),
+    "1d5p": (1, "star", 5, (2,)),
+    "heat2d": (2, "star", 5, (1, 1)),
+    "2d9p": (2, "box", 9, (1, 1)),
+    "life": (2, "box", 9, (1, 1)),
+    "heat3d": (3, "star", 7, (1, 1, 1)),
+    "3d27p": (3, "box", 27, (1, 1, 1)),
+}
+
+
+class TestRegistry:
+    def test_all_seven_present(self):
+        assert set(STENCIL_REGISTRY) == set(EXPECTED)
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            get_stencil("heat4d")
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_kernel_metadata(self, name):
+        ndim, shape, pts, slopes = EXPECTED[name]
+        spec = get_stencil(name)
+        assert spec.ndim == ndim
+        assert spec.shape == shape
+        assert spec.num_neighbors == pts
+        assert spec.slopes == slopes
+        assert spec.boundary == "dirichlet"
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED))
+    def test_periodic_variant(self, name):
+        spec = get_stencil(name, boundary="periodic")
+        assert spec.is_periodic
+
+
+class TestCoefficientProperties:
+    @pytest.mark.parametrize("name", ["heat1d", "1d5p", "heat2d", "2d9p",
+                                      "heat3d", "3d27p"])
+    def test_coefficients_sum_to_one(self, name):
+        """All heat-style kernels are weighted averages — a constant
+        field is a fixed point (stability of the discretisation)."""
+        spec = get_stencil(name)
+        assert sum(spec.operator.coeffs) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", ["heat1d", "1d5p", "heat2d", "2d9p",
+                                      "heat3d", "3d27p"])
+    def test_constant_field_is_fixed_point(self, name):
+        spec = get_stencil(name, boundary="periodic")
+        u = np.full((12,) * spec.ndim, 3.25)
+        out = spec.operator.apply_wrapped(u)
+        assert np.allclose(out, u)
+
+    @pytest.mark.parametrize("name", ["heat1d", "heat2d", "heat3d"])
+    def test_symmetry(self, name):
+        """Star heat kernels are symmetric under axis reflection."""
+        spec = get_stencil(name, boundary="periodic")
+        rng = np.random.default_rng(1)
+        u = rng.random((10,) * spec.ndim)
+        out = spec.operator.apply_wrapped(u)
+        flipped = spec.operator.apply_wrapped(u[::-1])
+        assert np.allclose(out[::-1], flipped)

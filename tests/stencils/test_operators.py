@@ -1,0 +1,123 @@
+"""Tests for the stencil operators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stencils.operators import (
+    GameOfLifeOperator,
+    LinearStencilOperator,
+    box_offsets,
+    star_offsets,
+)
+
+
+class TestOffsetGenerators:
+    def test_star_counts(self):
+        assert len(star_offsets(1, 1)) == 3
+        assert len(star_offsets(2, 1)) == 5
+        assert len(star_offsets(3, 1)) == 7
+        assert len(star_offsets(1, 2)) == 5
+
+    def test_box_counts(self):
+        assert len(box_offsets(1)) == 3
+        assert len(box_offsets(2)) == 9
+        assert len(box_offsets(3)) == 27
+        assert len(box_offsets(2, order=2)) == 25
+
+    def test_star_is_subset_of_box(self):
+        assert set(star_offsets(2, 1)) <= set(box_offsets(2, 1))
+
+    def test_center_included(self):
+        assert (0, 0) in star_offsets(2, 1)
+        assert (0, 0, 0) in box_offsets(3, 1)
+
+
+class TestLinearOperator:
+    def test_slopes(self):
+        op = LinearStencilOperator([(-2,), (0,), (1,)], [1, 1, 1])
+        assert op.slopes == (2,)
+
+    def test_coeff_count_mismatch(self):
+        with pytest.raises(ValueError):
+            LinearStencilOperator([(0,)], [1.0, 2.0])
+
+    def test_duplicate_offsets(self):
+        with pytest.raises(ValueError):
+            LinearStencilOperator([(0,), (0,)], [1, 1])
+
+    def test_mixed_rank_offsets(self):
+        with pytest.raises(ValueError):
+            LinearStencilOperator([(0,), (0, 1)], [1, 1])
+
+    def test_empty_offsets(self):
+        with pytest.raises(ValueError):
+            LinearStencilOperator([], [])
+
+    def test_flops(self):
+        op = LinearStencilOperator([(-1,), (0,), (1,)], [1, 1, 1])
+        assert op.flops_per_point == 5
+
+    def test_apply_identity(self):
+        op = LinearStencilOperator([(0,)], [1.0])
+        src = np.arange(6, dtype=np.float64)
+        dst = np.zeros(6)
+        op.apply(src, dst, ((0, 6),), (0,))
+        assert np.array_equal(src, dst)
+
+    @given(st.integers(4, 20))
+    @settings(max_examples=20, deadline=None)
+    def test_wrapped_matches_manual_roll(self, n):
+        rng = np.random.default_rng(n)
+        u = rng.random(n)
+        op = LinearStencilOperator([(-1,), (0,), (1,)], [0.2, 0.5, 0.3])
+        out = op.apply_wrapped(u)
+        manual = 0.2 * np.roll(u, 1) + 0.5 * u + 0.3 * np.roll(u, -1)
+        assert np.allclose(out, manual)
+
+    def test_wrapped_2d(self):
+        rng = np.random.default_rng(0)
+        u = rng.random((5, 6))
+        op = LinearStencilOperator([(0, 0), (1, 1)], [0.5, 0.5])
+        out = op.apply_wrapped(u)
+        assert np.allclose(out, 0.5 * u + 0.5 * np.roll(u, (-1, -1), (0, 1)))
+
+    def test_dtype_override(self):
+        op = LinearStencilOperator([(0,)], [1.0], dtype=np.float32)
+        assert op.dtype == np.float32
+
+
+class TestGameOfLife:
+    def test_blinker_oscillates(self):
+        op = GameOfLifeOperator()
+        u = np.zeros((5, 5), dtype=np.uint8)
+        u[2, 1:4] = 1  # horizontal blinker
+        v = np.zeros_like(u)
+        op.apply(u, v, ((0, 3), (0, 3)), (1, 1))
+        # interior of padded (5,5) is the 3x3 core; the blinker's centre
+        # column should now be vertical
+        assert v[2, 2] == 1 and v[1, 2] == 1 and v[3, 2] == 1
+        assert v[2, 1] == 0 and v[2, 3] == 0
+
+    def test_block_still_life_wrapped(self):
+        op = GameOfLifeOperator()
+        u = np.zeros((6, 6), dtype=np.uint8)
+        u[2:4, 2:4] = 1
+        out = op.apply_wrapped(u)
+        assert np.array_equal(out, u)
+
+    def test_glider_period_wrapped(self):
+        op = GameOfLifeOperator()
+        u = np.zeros((8, 8), dtype=np.uint8)
+        u[1, 2] = u[2, 3] = u[3, 1] = u[3, 2] = u[3, 3] = 1
+        v = u.copy()
+        for _ in range(4 * 8):  # glider translates by (1,1) every 4 steps
+            v = op.apply_wrapped(v)
+        assert np.array_equal(v, u)
+
+    def test_dtype_and_slopes(self):
+        op = GameOfLifeOperator()
+        assert op.dtype == np.uint8
+        assert op.slopes == (1, 1)
+        assert len(op.offsets) == 9

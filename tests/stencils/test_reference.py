@@ -1,0 +1,80 @@
+"""Tests for the naive reference sweep (the correctness oracle itself)."""
+
+import numpy as np
+import pytest
+
+from repro.stencils import (
+    Grid,
+    game_of_life,
+    heat1d,
+    heat2d,
+    reference_step,
+    reference_sweep,
+)
+
+
+class TestReferenceStep:
+    def test_manual_1d(self):
+        spec = heat1d()
+        g = Grid(spec, (4,), init="zeros")
+        g.interior(0)[...] = [1.0, 0.0, 0.0, 2.0]
+        reference_step(spec, g, 0)
+        u1 = g.interior(1)
+        assert u1[0] == pytest.approx(0.75 * 1.0)
+        assert u1[1] == pytest.approx(0.125 * 1.0)
+        assert u1[2] == pytest.approx(0.125 * 2.0)
+        assert u1[3] == pytest.approx(0.75 * 2.0)
+
+    def test_periodic_wraps(self):
+        spec = heat1d("periodic")
+        g = Grid(spec, (4,), init="zeros")
+        g.interior(0)[...] = [1.0, 0.0, 0.0, 0.0]
+        reference_step(spec, g, 0)
+        u1 = g.interior(1)
+        assert u1[3] == pytest.approx(0.125)  # wrapped neighbour
+        assert u1[1] == pytest.approx(0.125)
+
+    def test_dirichlet_mass_leaks(self):
+        """Non-periodic heat loses mass through the cold boundary."""
+        spec = heat1d()
+        g = Grid(spec, (6,), seed=0)
+        m0 = g.interior(0).sum()
+        reference_sweep(spec, g, 5)
+        assert g.interior(5).sum() < m0
+
+    def test_periodic_mass_conserved(self):
+        spec = heat1d("periodic")
+        g = Grid(spec, (6,), seed=0)
+        m0 = g.interior(0).sum()
+        reference_sweep(spec, g, 5)
+        assert g.interior(5).sum() == pytest.approx(m0)
+
+
+class TestReferenceSweep:
+    def test_zero_steps(self):
+        spec = heat2d()
+        g = Grid(spec, (5, 5), seed=2)
+        before = g.interior(0).copy()
+        out = reference_sweep(spec, g, 0)
+        assert np.array_equal(before, out)
+
+    def test_negative_steps(self):
+        spec = heat2d()
+        g = Grid(spec, (5, 5), seed=2)
+        with pytest.raises(ValueError):
+            reference_sweep(spec, g, -1)
+
+    def test_sweep_composes(self):
+        spec = heat2d()
+        g1 = Grid(spec, (8, 9), seed=3)
+        g2 = g1.copy()
+        a = reference_sweep(spec, g1, 6).copy()
+        reference_sweep(spec, g2, 2)
+        b = reference_sweep(spec, g2, 4, t0=2)
+        assert np.allclose(a, b)
+
+    def test_life_reference_is_binary(self):
+        spec = game_of_life()
+        g = Grid(spec, (10, 10), seed=1)
+        out = reference_sweep(spec, g, 4)
+        assert set(np.unique(out)) <= {0, 1}

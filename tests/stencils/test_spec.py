@@ -1,0 +1,105 @@
+"""Tests for StencilSpec and region helpers."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.operators import LinearStencilOperator
+from repro.stencils.spec import (
+    StencilSpec,
+    clip_region,
+    full_region,
+    region_is_empty,
+    region_size,
+)
+
+
+def simple_spec(ndim=1, boundary="dirichlet"):
+    if ndim == 1:
+        op = LinearStencilOperator([(-1,), (0,), (1,)], [0.25, 0.5, 0.25])
+    else:
+        op = LinearStencilOperator(
+            [(0, 0), (-1, 0), (1, 0), (0, -1), (0, 1)],
+            [0.6, 0.1, 0.1, 0.1, 0.1],
+        )
+    return StencilSpec("test", ndim, op, boundary=boundary)
+
+
+class TestRegionHelpers:
+    def test_full_region(self):
+        assert full_region((3, 4)) == ((0, 3), (0, 4))
+
+    def test_region_size(self):
+        assert region_size(((0, 3), (1, 4))) == 9
+        assert region_size(((2, 2),)) == 0
+        assert region_size(((3, 1),)) == 0
+
+    def test_clip_region(self):
+        assert clip_region(((-2, 5),), (4,)) == ((0, 4),)
+
+    def test_region_is_empty(self):
+        assert region_is_empty(((1, 1), (0, 5)))
+        assert not region_is_empty(((0, 1), (0, 5)))
+
+
+class TestSpecProperties:
+    def test_slopes_and_halo(self):
+        s = simple_spec()
+        assert s.slopes == (1,)
+        assert s.halo == (1,)
+        assert s.order == 1
+
+    def test_num_neighbors_and_flops(self):
+        s = simple_spec(2)
+        assert s.num_neighbors == 5
+        assert s.flops_per_point == 9
+
+    def test_padded_shape(self):
+        s = simple_spec(2)
+        assert s.padded_shape((5, 6)) == (7, 8)
+
+    def test_interior_slices(self):
+        s = simple_spec()
+        arr = np.arange(8, dtype=np.float64)
+        assert np.array_equal(arr[s.interior_slices((6,))], arr[1:7])
+
+    def test_describe_mentions_name(self):
+        assert "test" in simple_spec().describe()
+
+    def test_dimension_validation(self):
+        op = LinearStencilOperator([(-1,), (0,), (1,)], [1, 1, 1])
+        with pytest.raises(ValueError):
+            StencilSpec("bad", 2, op)
+        with pytest.raises(ValueError):
+            StencilSpec("bad", 0, op)
+
+    def test_boundary_validation(self):
+        with pytest.raises(ValueError):
+            simple_spec(boundary="reflecting")
+
+    def test_shape_validation(self):
+        op = LinearStencilOperator([(0,)], [1.0])
+        with pytest.raises(ValueError):
+            StencilSpec("bad", 1, op, shape="circle")
+
+    def test_padded_shape_rank_check(self):
+        with pytest.raises(ValueError):
+            simple_spec().padded_shape((4, 4))
+
+
+class TestApplyRegion:
+    def test_updates_only_region(self):
+        s = simple_spec()
+        src = np.arange(10, dtype=np.float64)
+        dst = np.full(10, -1.0)
+        s.apply_region(src, dst, ((2, 5),))
+        # padded index = interior + 1
+        assert np.all(dst[:3] == -1) and np.all(dst[6:] == -1)
+        expect = 0.25 * src[2:5] + 0.5 * src[3:6] + 0.25 * src[4:7]
+        assert np.allclose(dst[3:6], expect)
+
+    def test_empty_region_noop(self):
+        s = simple_spec()
+        src = np.ones(10)
+        dst = np.zeros(10)
+        s.apply_region(src, dst, ((4, 4),))
+        assert not dst.any()

@@ -1,0 +1,119 @@
+"""Asymmetric (upwind) stencils and assorted edge cases.
+
+The paper's framework covers any Jacobi dependence pattern; upwind
+advection has a one-sided neighbourhood, so it probes the slope/halo
+machinery off the symmetric path every other kernel uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Grid, make_lattice, run_blocked, run_merged, run_pointwise
+from repro.core.profiles import AxisProfile, TessLattice
+from repro.stencils import reference_sweep
+from repro.stencils.operators import LinearStencilOperator
+from repro.stencils.spec import StencilSpec
+
+
+def upwind(boundary="dirichlet"):
+    """First-order upwind advection: u' = (1-c)·u + c·u_left, c = 0.5."""
+    op = LinearStencilOperator([(0,), (-1,)], [0.5, 0.5])
+    return StencilSpec("upwind1d", 1, op, shape="custom",
+                       boundary=boundary)
+
+
+class TestUpwindAdvection:
+    def test_slopes_are_one_sided_maximum(self):
+        spec = upwind()
+        assert spec.slopes == (1,)
+        assert spec.num_neighbors == 2
+
+    def test_executors_match_reference(self):
+        spec = upwind()
+        for runner in (run_pointwise, run_blocked, run_merged):
+            g = Grid(spec, (60,), seed=3)
+            ref = reference_sweep(spec, g.copy(), 9)
+            lat = make_lattice(spec, (60,), 3)
+            out = runner(spec, g.copy(), lat, 9)
+            assert np.allclose(ref, out, rtol=1e-12, atol=1e-13), runner
+
+    def test_pulse_transports_rightward(self):
+        """A periodic upwind pulse's centre of mass moves right at
+        speed c = 0.5 cells/step."""
+        spec = upwind("periodic")
+        n, steps = 64, 32
+        g = Grid(spec, (n,), init="zeros")
+        g.interior(0)[n // 4] = 1.0
+        lat = TessLattice((AxisProfile.uniform(n, 4, periodic=True),))
+        out = run_pointwise(spec, g, lat, steps)
+        x = np.arange(n)
+        com = float((x * out).sum() / out.sum())
+        assert com == pytest.approx(n // 4 + 0.5 * steps, abs=1.0)
+        # mass conserved on the torus
+        assert out.sum() == pytest.approx(1.0)
+
+    def test_2d_one_sided(self):
+        op = LinearStencilOperator(
+            [(0, 0), (-1, 0), (0, -1)], [0.5, 0.25, 0.25]
+        )
+        spec = StencilSpec("upwind2d", 2, op, shape="custom")
+        g = Grid(spec, (20, 18), seed=4)
+        ref = reference_sweep(spec, g.copy(), 7)
+        lat = make_lattice(spec, (20, 18), 2)
+        out = run_merged(spec, g.copy(), lat, 7)
+        assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+
+
+class TestSmallDomains:
+    """Grids smaller than one block period still tessellate."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 5])
+    def test_tiny_1d(self, n):
+        from repro.stencils import heat1d
+
+        spec = heat1d()
+        g = Grid(spec, (n,), seed=n)
+        ref = reference_sweep(spec, g.copy(), 5)
+        lat = make_lattice(spec, (n,), 2)
+        out = run_blocked(spec, g.copy(), lat, 5)
+        assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+
+    def test_tiny_2d_merged(self):
+        from repro.stencils import heat2d
+
+        spec = heat2d()
+        g = Grid(spec, (3, 2), seed=1)
+        ref = reference_sweep(spec, g.copy(), 4)
+        lat = make_lattice(spec, (3, 2), 2)
+        out = run_merged(spec, g.copy(), lat, 4)
+        assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+
+    def test_depth_exceeding_steps(self):
+        """b much larger than the whole run (one truncated phase)."""
+        from repro.stencils import heat1d
+
+        spec = heat1d()
+        g = Grid(spec, (40,), seed=2)
+        ref = reference_sweep(spec, g.copy(), 3)
+        lat = make_lattice(spec, (40,), 8)
+        out = run_blocked(spec, g.copy(), lat, 3)
+        assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+
+
+class TestReportFormatEdges:
+    def test_fmt_extremes(self):
+        from repro.bench.report import _fmt
+
+        assert _fmt(0.0) == "0"
+        assert _fmt(12345.6) == "1.23e+04"
+        assert _fmt(0.004) == "0.004"
+        assert _fmt("txt") == "txt"
+
+    def test_dist_result_zero_time(self):
+        from repro.distributed.model import DistSimResult
+
+        r = DistSimResult(scheme="s", nodes=1, cores_per_node=1,
+                          time_s=0.0, comm_bytes=0.0, comm_time_s=0.0,
+                          useful_points=1)
+        assert r.gstencils == 0.0
+        assert r.comm_fraction == 0.0

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCliRun:
+    def test_run_tess_verifies(self, capsys):
+        rc = main(["run", "heat1d", "--shape", "400", "--steps", "12",
+                   "--scheme", "tess", "-b", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified against naive sweep: OK" in out
+
+    @pytest.mark.parametrize("scheme", ["naive", "diamond", "pochoir",
+                                        "mwd", "overlapped",
+                                        "tess-unmerged"])
+    def test_all_schemes(self, scheme, capsys):
+        rc = main(["run", "heat1d", "--shape", "300", "--steps", "8",
+                   "--scheme", scheme, "-b", "4"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_run_threaded(self, capsys):
+        rc = main(["run", "heat2d", "--shape", "60", "60", "--steps", "6",
+                   "--scheme", "tess", "-b", "2", "--threads", "2"])
+        assert rc == 0
+
+    def test_life_integer_kernel(self, capsys):
+        rc = main(["run", "life", "--shape", "48", "48", "--steps", "6",
+                   "--scheme", "diamond", "-b", "2"])
+        assert rc == 0
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            main(["run", "heat9d"])
+
+
+class TestCliShow:
+    def test_show_renders_rows(self, capsys):
+        rc = main(["show", "--scheme", "tess", "-n", "32",
+                   "--steps", "8", "-b", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("t=") == 8
+
+    def test_show_pochoir(self, capsys):
+        rc = main(["show", "--scheme", "pochoir", "-n", "32",
+                   "--steps", "6", "-b", "4"])
+        assert rc == 0
+
+
+class TestCliTableAndTune:
+    def test_table(self, capsys):
+        rc = main(["table", "--max-dim", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "stages per phase" in out
+
+    def test_tune(self, capsys):
+        rc = main(["tune", "heat1d", "--shape", "2000", "--steps", "16",
+                   "--cores", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "best configuration" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "heat1d", "--scheme", "magic"])
+
+
+class TestCliDist:
+    def test_dist_verifies_and_scales(self, capsys):
+        rc = main(["dist", "heat1d", "--shape", "200", "--steps", "8",
+                   "-b", "4", "--ranks", "3", "--nodes", "1", "2"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified OK" in out
+        assert "speedup" in out
