@@ -1,0 +1,81 @@
+"""Fault-tolerant execution: injected failures, exact recovery.
+
+The barrier groups that make tessellated schedules parallel are also
+consistency points: at every barrier the ping-pong pair is a complete
+state.  ``execute_resilient`` checkpoints there, retries failed tasks,
+and restores/replays groups on corruption — so a run hit by injected
+faults still produces results *bit-identical* to a fault-free run.
+The distributed simulator does the same per phase, with a divergence
+detector guarding the ghost-band exchanges.
+
+Run: ``PYTHONPATH=src python examples/fault_tolerance.py``
+CLI equivalent::
+
+    python -m repro run heat2d --shape 64 64 --steps 12 -b 4 \
+        --threads 4 --resilient --inject crash@1/0 --inject corrupt@3
+    python -m repro dist heat1d --shape 400 --steps 16 -b 4 --ranks 4 \
+        --resilient --inject drop@2/1
+"""
+
+import numpy as np
+
+from repro import Grid, get_stencil, make_lattice
+from repro.core.schedules import tess_schedule
+from repro.distributed import execute_distributed
+from repro.runtime import (
+    ExecutionError, FaultPlan, FaultSpec, ResiliencePolicy,
+    execute_resilient, execute_schedule,
+)
+
+
+def main() -> None:
+    spec = get_stencil("heat2d")
+    shape, steps, b = (64, 64), 12, 4
+    lattice = make_lattice(spec, shape, b)
+    sched = tess_schedule(spec, shape, lattice, steps, merged=True)
+
+    ref = execute_schedule(spec, Grid(spec, shape, seed=0), sched).copy()
+
+    # -- shared memory: crash + silent corruption + stall ------------
+    plan = FaultPlan([
+        FaultSpec("crash", group=1, task=0),            # worker dies
+        FaultSpec("corrupt", group=3, task=1),          # silent NaNs
+        FaultSpec("stall", group=2, task=0, stall_s=0.05),
+    ])
+    policy = ResiliencePolicy(task_deadline_s=0.02)
+    out, report = execute_resilient(
+        spec, Grid(spec, shape, seed=0), sched,
+        policy=policy, fault_plan=plan, num_threads=4)
+    exact = np.array_equal(ref, out)
+    print(f"injected {len(plan.faults)} faults ({plan.describe()})")
+    print(f"  {report.describe()}")
+    print(f"  recovered bit-identical to fault-free run: {exact}")
+    assert exact
+
+    # -- a persistent failure stays loud, not silent -----------------
+    dead = FaultPlan([FaultSpec("crash", group=2, task=0, max_hits=10_000)])
+    try:
+        execute_resilient(spec, Grid(spec, shape, seed=0), sched,
+                          fault_plan=dead, num_threads=4)
+    except ExecutionError as e:
+        print(f"persistent fault -> structured error: {e}")
+
+    # -- distributed: dropped ghost-band exchange --------------------
+    spec1 = get_stencil("heat1d")
+    shape1, steps1 = (400,), 16
+    lat1 = make_lattice(spec1, shape1, b)
+    g1 = Grid(spec1, shape1, seed=0)
+    base, _ = execute_distributed(spec1, g1.copy(), lat1, steps1, 4)
+    dplan = FaultPlan([FaultSpec("drop", group=2, task=1)])
+    out1, stats = execute_distributed(
+        spec1, g1.copy(), lat1, steps1, 4,
+        fault_plan=dplan, resilient=True)
+    exact1 = np.array_equal(base, out1)
+    print(f"distributed: dropped exchange at stage 2 -> "
+          f"{stats.phase_restarts} phase replay(s), "
+          f"recovered bit-identical: {exact1}")
+    assert exact1
+
+
+if __name__ == "__main__":
+    main()

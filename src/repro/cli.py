@@ -12,14 +12,30 @@ Commands
   cluster strong-scaling estimate;
 * ``table``  — print the paper's Table 1 for a given dimension;
 * ``bench``  — forward to :mod:`repro.bench` (regenerate figures).
+
+``run`` and ``dist`` take ``--resilient``/``--fail-fast`` plus
+``--inject kind@group[/task][xN]`` fault specs (see
+``docs/resilience.md``).  Errors map to distinct exit codes instead of
+tracebacks: 1 = numerical mismatch, 2 = usage/:class:`ValueError`,
+3 = :class:`ExecutionError`, 4 = :class:`GuardViolation` (invariant
+guard / ghost-band divergence).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import List, Optional
 
 import numpy as np
+
+from repro.runtime.errors import (
+    EXIT_EXECUTION,
+    EXIT_GUARD,
+    EXIT_USAGE,
+    ExecutionError,
+    GuardViolation,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -41,6 +57,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="time-tile depth b")
     run.add_argument("--threads", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
+    _add_resilience_args(run)
+    run.add_argument("--checkpoint-every", type=int, default=1,
+                     metavar="N", help="checkpoint every N barrier "
+                     "groups in --resilient mode (0 = initial only)")
+    run.add_argument("--retries", type=int, default=2,
+                     help="per-task retry budget in --resilient mode")
 
     show = sub.add_parser("show", help="space-time diagram of a 1D schedule")
     show.add_argument("--scheme", default="tess",
@@ -64,6 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
     dist.add_argument("-b", "--depth", type=int, default=4)
     dist.add_argument("--ranks", type=int, default=4)
     dist.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8])
+    _add_resilience_args(dist)
+    dist.add_argument("--ghost", type=int, default=None,
+                      help="override the exchanged ghost-band width "
+                      "(the divergence detector still validates the "
+                      "required width)")
+    dist.add_argument("--check-divergence", action="store_true",
+                      help="run the ghost-band divergence detector "
+                      "(implied by --resilient)")
 
     table = sub.add_parser("table", help="print Table 1 properties")
     table.add_argument("--max-dim", type=int, default=6)
@@ -72,6 +102,27 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser("bench", help="regenerate paper experiments")
     bench.add_argument("names", nargs="*", help="experiment ids (default all)")
     return p
+
+
+def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
+    mode = sub.add_mutually_exclusive_group()
+    mode.add_argument("--resilient", action="store_true",
+                      help="enable retries, checkpoint/restart and "
+                      "invariant guards")
+    mode.add_argument("--fail-fast", action="store_true",
+                      help="die on the first failure with a structured "
+                      "error (default)")
+    sub.add_argument("--inject", action="append", default=[],
+                     metavar="SPEC",
+                     help="inject a deterministic fault: "
+                     "kind@group[/task][xN], kind in "
+                     "crash|corrupt|stall|drop|garble (repeatable)")
+
+
+def _fault_plan(args):
+    from repro.runtime.faults import FaultPlan
+
+    return FaultPlan.parse(args.inject) if args.inject else None
 
 
 def _default_shape(spec) -> tuple:
@@ -107,9 +158,14 @@ def _build_schedule(spec, shape, steps, scheme, b):
 
 
 def cmd_run(args) -> int:
+    import time as _time
+
     from repro import Grid, get_stencil, reference_sweep
     from repro.perf import time_schedule
-    from repro.runtime import execute_threaded, schedule_stats
+    from repro.runtime import (
+        ResiliencePolicy, execute_resilient, execute_threaded,
+        schedule_stats,
+    )
 
     spec = get_stencil(args.kernel)
     shape = tuple(args.shape) if args.shape else _default_shape(spec)
@@ -120,9 +176,31 @@ def cmd_run(args) -> int:
           f"b={args.depth}")
     print(f"tasks={st['tasks']} barriers={st['groups']} "
           f"redundancy={st['redundancy'] * 100:.1f}%")
-    if args.threads > 1 and not sched.private_tasks:
+    plan = _fault_plan(args)
+    if (args.resilient or plan is not None) and not sched.private_tasks:
+        if args.resilient:
+            policy = ResiliencePolicy(
+                max_task_retries=args.retries,
+                checkpoint_interval=args.checkpoint_every,
+            )
+        else:
+            # fail-fast with injection: no retries, no restarts — the
+            # guards still turn silent corruption into a loud exit 4
+            policy = ResiliencePolicy(max_task_retries=0,
+                                      max_group_restarts=0,
+                                      checkpoint_interval=0)
+        if plan is not None:
+            print(f"injecting: {plan.describe()}")
         g = Grid(spec, shape, seed=args.seed)
-        import time as _time
+        t0 = _time.perf_counter()
+        out, report = execute_resilient(
+            spec, g, sched, policy=policy, fault_plan=plan,
+            num_threads=args.threads,
+        )
+        secs = _time.perf_counter() - t0
+        print(f"resilience: {report.describe()}")
+    elif args.threads > 1 and not sched.private_tasks:
+        g = Grid(spec, shape, seed=args.seed)
         t0 = _time.perf_counter()
         out = execute_threaded(spec, g, sched, num_threads=args.threads)
         secs = _time.perf_counter() - t0
@@ -185,14 +263,26 @@ def cmd_dist(args) -> int:
     lat = make_lattice(spec, shape, args.depth)
     g = Grid(spec, shape, seed=0)
     ref = reference_sweep(spec, g.copy(), args.steps)
-    out, stats = execute_distributed(spec, g.copy(), lat, args.steps,
-                                     args.ranks)
+    plan = _fault_plan(args)
+    if plan is not None:
+        print(f"injecting: {plan.describe()}")
+    out, stats = execute_distributed(
+        spec, g.copy(), lat, args.steps, args.ranks,
+        fault_plan=plan,
+        check_divergence=args.check_divergence or args.resilient,
+        resilient=args.resilient,
+        ghost_override=args.ghost,
+    )
     ok = (np.array_equal(ref, out)
           if np.issubdtype(spec.dtype, np.integer)
           else np.allclose(ref, out, rtol=1e-11, atol=1e-12))
     print(f"{args.ranks} simulated ranks on {shape}: "
           f"{'verified OK' if ok else 'MISMATCH'}; "
           f"{stats.messages} messages, {stats.bytes_sent} bytes")
+    if stats.drops or stats.garbles or stats.phase_restarts:
+        print(f"resilience: drops={stats.drops} garbles={stats.garbles} "
+              f"phase_restarts={stats.phase_restarts} "
+              f"divergence_checks={stats.divergence_checks}")
     rows = []
     base = None
     for n in args.nodes:
@@ -222,14 +312,26 @@ def cmd_bench(args) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    return {
+    cmd = {
         "run": cmd_run,
         "show": cmd_show,
         "tune": cmd_tune,
         "dist": cmd_dist,
         "table": cmd_table,
         "bench": cmd_bench,
-    }[args.command](args)
+    }[args.command]
+    try:
+        return cmd(args)
+    except GuardViolation as e:
+        print(f"guard violation: {e}", file=sys.stderr)
+        return EXIT_GUARD
+    except ExecutionError as e:
+        print(f"execution failed: {e}", file=sys.stderr)
+        return EXIT_EXECUTION
+    except (ValueError, KeyError) as e:
+        msg = e.args[0] if e.args else e
+        print(f"error: {msg}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

@@ -15,7 +15,14 @@ On top of that one representation sit:
   real shared-memory parallel execution (NumPy releases the GIL inside
   region applications);
 * the task-graph analysis (:mod:`~repro.runtime.taskgraph`) feeding the
-  simulated machine — work, span, concurrency profiles, footprints.
+  simulated machine — work, span, concurrency profiles, footprints;
+* the resilience layer (:mod:`~repro.runtime.resilience`,
+  :mod:`~repro.runtime.faults`, :mod:`~repro.runtime.errors`) —
+  deterministic fault injection, barrier-group checkpoint/restart,
+  bounded retries with sequential degradation, and runtime invariant
+  guards.  Barrier groups double as consistency points: at every
+  barrier the ping-pong pair is a complete state, so a snapshot plus
+  the group index is all a restart needs.
 """
 
 from repro.runtime.schedule import (
@@ -29,6 +36,20 @@ from repro.runtime.schedule import (
 from repro.runtime.taskgraph import TaskGraph, TaskNode, build_taskgraph
 from repro.runtime.threadpool import execute_threaded
 from repro.runtime.levelize import levelize
+from repro.runtime.errors import (
+    DeadlineExceeded,
+    ExecutionError,
+    GhostDivergenceError,
+    GuardViolation,
+    InjectedFault,
+)
+from repro.runtime.faults import FaultPlan, FaultSpec
+from repro.runtime.resilience import (
+    Checkpoint,
+    ResiliencePolicy,
+    ResilienceReport,
+    execute_resilient,
+)
 
 __all__ = [
     "RegionAction",
@@ -42,4 +63,15 @@ __all__ = [
     "build_taskgraph",
     "execute_threaded",
     "levelize",
+    "DeadlineExceeded",
+    "ExecutionError",
+    "GhostDivergenceError",
+    "GuardViolation",
+    "InjectedFault",
+    "FaultPlan",
+    "FaultSpec",
+    "Checkpoint",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "execute_resilient",
 ]

@@ -1,0 +1,123 @@
+"""Structured runtime errors and CLI exit codes.
+
+The resilience layer turns arbitrary task failures into a small,
+typed vocabulary so callers (the CLI, the test-suite, a future
+service wrapper) can react programmatically instead of parsing
+tracebacks:
+
+* :class:`InjectedFault` — raised *by* the fault-injection harness
+  (:mod:`repro.runtime.faults`) inside a task; models a worker crash;
+* :class:`DeadlineExceeded` — a task overran the policy's soft
+  deadline (models a stalled worker);
+* :class:`ExecutionError` — terminal verdict of an executor: a group
+  kept failing after retries, sequential degradation and
+  checkpoint/restart; carries scheme/group/task/attempt context;
+* :class:`GuardViolation` — a runtime invariant guard fired
+  (non-finite values after a barrier group, structural pre-flight);
+* :class:`GhostDivergenceError` — the distributed simulator's
+  neighbour-consistency detector found ranks disagreeing on the
+  authoritative values of a boundary band.
+
+Exit-code mapping used by ``python -m repro`` (see
+:func:`repro.cli.main`): usage/:class:`ValueError` → 2,
+:class:`ExecutionError` → 3, :class:`GuardViolation` → 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: CLI exit codes (0 = success, 1 = numerical mismatch — legacy).
+EXIT_OK = 0
+EXIT_MISMATCH = 1
+EXIT_USAGE = 2
+EXIT_EXECUTION = 3
+EXIT_GUARD = 4
+
+
+class InjectedFault(RuntimeError):
+    """A deterministic fault fired by the injection harness."""
+
+    def __init__(self, kind: str, group: int, task: Optional[int] = None):
+        self.kind = kind
+        self.group = group
+        self.task = task
+        where = f"group {group}" if task is None else f"group {group}, task {task}"
+        super().__init__(f"injected {kind} fault in {where}")
+
+
+class DeadlineExceeded(RuntimeError):
+    """A task ran longer than the policy's soft per-task deadline."""
+
+    def __init__(self, label: str, elapsed_s: float, deadline_s: float):
+        self.label = label
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        super().__init__(
+            f"task {label!r} took {elapsed_s * 1e3:.1f} ms "
+            f"(deadline {deadline_s * 1e3:.1f} ms)"
+        )
+
+
+class ExecutionError(RuntimeError):
+    """A schedule execution died; names the failing group/task.
+
+    Raised by :func:`repro.runtime.threadpool.execute_threaded` on the
+    first task failure (fail-fast semantics) and by
+    :func:`repro.runtime.resilience.execute_resilient` once retries,
+    sequential degradation and checkpoint restarts are exhausted.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        scheme: Optional[str] = None,
+        group: Optional[int] = None,
+        task_label: Optional[str] = None,
+        attempts: int = 1,
+    ):
+        self.scheme = scheme
+        self.group = group
+        self.task_label = task_label
+        self.attempts = attempts
+        ctx = []
+        if scheme is not None:
+            ctx.append(f"scheme={scheme}")
+        if group is not None:
+            ctx.append(f"group={group}")
+        if task_label:
+            ctx.append(f"task={task_label!r}")
+        if attempts > 1:
+            ctx.append(f"attempts={attempts}")
+        suffix = f" [{', '.join(ctx)}]" if ctx else ""
+        super().__init__(f"{message}{suffix}")
+
+
+class GuardViolation(ExecutionError):
+    """A runtime invariant guard failed (non-finite sweep, pre-flight)."""
+
+
+class GhostDivergenceError(GuardViolation):
+    """Neighbouring ranks disagree on an exchanged boundary band.
+
+    Fired by the distributed simulator's divergence detector: after a
+    stage exchange, the two ranks of a neighbour pair must agree on
+    every point either of them updated inside the shared
+    ``±ghost``-wide window around their slab boundary.  A dropped,
+    corrupted or under-sized exchange breaks that agreement.
+    """
+
+    def __init__(self, stage: int, rank_a: int, rank_b: int,
+                 mismatched_points: int):
+        self.stage = stage
+        self.rank_a = rank_a
+        self.rank_b = rank_b
+        self.mismatched_points = mismatched_points
+        ExecutionError.__init__(
+            self,
+            f"ghost-band divergence after stage {stage}: ranks "
+            f"{rank_a}/{rank_b} disagree on {mismatched_points} "
+            f"boundary point(s)",
+            group=stage,
+        )

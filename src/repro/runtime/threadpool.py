@@ -12,23 +12,51 @@ one group touch disjoint regions (tessellation, diamond, skewed), or
 overlap only with *identical-value* writes (overlapped tiling), so no
 synchronisation beyond the barrier is needed — the paper's
 ``#pragma omp parallel for``.
+
+Failure semantics are **fail-fast**: on the first task exception the
+group's still-pending futures are cancelled, the running ones are
+joined, and a structured :class:`~repro.runtime.errors.ExecutionError`
+naming the failing task and group is raised.  Without this, every
+future ran to completion and a partially-updated grid was
+indistinguishable from success.  For retry/checkpoint recovery
+semantics use :func:`repro.runtime.resilience.execute_resilient`.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor, wait
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
+from typing import Optional
+
 import numpy as np
 
+from repro.runtime.errors import ExecutionError
+from repro.runtime.faults import FaultPlan, poison_task_output
 from repro.runtime.schedule import RegionSchedule, ScheduledTask
 from repro.stencils.grid import Grid
 from repro.stencils.spec import StencilSpec
 
 
-def _run_task(spec: StencilSpec, grid: Grid, task: ScheduledTask) -> int:
+def _run_task(
+    spec: StencilSpec,
+    grid: Grid,
+    task: ScheduledTask,
+    group: int = 0,
+    index: int = 0,
+    fault_plan: Optional[FaultPlan] = None,
+) -> int:
+    if fault_plan is not None:
+        f = fault_plan.stall_fault(group, index)
+        if f is not None:
+            import time
+            time.sleep(f.stall_s)
+        fault_plan.raise_if_crash(group, index)
     pts = 0
     for a in task.actions:
         spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
         pts += a.points
+    if fault_plan is not None and not np.issubdtype(spec.dtype, np.integer):
+        if fault_plan.corrupt_fault(group, index) is not None:
+            poison_task_output(grid, task)
     return pts
 
 
@@ -37,10 +65,15 @@ def execute_threaded(
     grid: Grid,
     schedule: RegionSchedule,
     num_threads: int = 4,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> np.ndarray:
     """Execute a schedule with ``num_threads`` worker threads.
 
-    Returns the interior at time ``schedule.steps``.
+    Returns the interior at time ``schedule.steps``.  Fail-fast: the
+    first task exception cancels the group's pending tasks and raises
+    :class:`ExecutionError` carrying the scheme/group/task context.
+    ``fault_plan`` is the deterministic injection harness hook (see
+    :mod:`repro.runtime.faults`).
     """
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
@@ -53,11 +86,26 @@ def execute_threaded(
     groups = schedule.groups()
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
         for gid in sorted(groups):
-            futures = [
-                pool.submit(_run_task, spec, grid, task)
-                for task in groups[gid]
-            ]
-            done, _ = wait(futures)
+            tasks = groups[gid]
+            futures = {
+                pool.submit(_run_task, spec, grid, task, gid, ti, fault_plan):
+                task
+                for ti, task in enumerate(tasks)
+            }
+            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
+            first_exc, failed_task = None, None
             for f in done:
-                f.result()  # propagate exceptions
+                exc = f.exception()
+                if exc is not None and first_exc is None:
+                    first_exc, failed_task = exc, futures[f]
+            if first_exc is not None:
+                cancelled = sum(1 for f in pending if f.cancel())
+                wait(futures)  # join tasks that were already running
+                raise ExecutionError(
+                    f"task failed ({first_exc}); "
+                    f"{cancelled} pending task(s) cancelled",
+                    scheme=schedule.scheme,
+                    group=gid,
+                    task_label=failed_task.label or None,
+                ) from first_exc
     return grid.interior(schedule.steps)

@@ -29,9 +29,41 @@ class TaskTrace:
 
 
 @dataclass
+class RuntimeEvent:
+    """One resilience-layer event (retry, checkpoint, restore, guard…).
+
+    Recorded by :func:`repro.runtime.resilience.execute_resilient` and
+    the distributed simulator so traces expose where fault-tolerance
+    overhead sits, next to the per-task compute timings.
+    """
+
+    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault"
+    group: int
+    label: str = ""
+    seconds: float = 0.0
+    detail: str = ""
+
+
+@dataclass
 class ExecutionTrace:
     scheme: str
     tasks: List[TaskTrace] = field(default_factory=list)
+    events: List[RuntimeEvent] = field(default_factory=list)
+
+    def record_event(self, kind: str, group: int, label: str = "",
+                     seconds: float = 0.0, detail: str = "") -> None:
+        self.events.append(RuntimeEvent(kind=kind, group=group, label=label,
+                                        seconds=seconds, detail=detail))
+
+    def event_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def resilience_seconds(self) -> float:
+        """Wall-clock attributed to the resilience layer (not compute)."""
+        return sum(e.seconds for e in self.events)
 
     @property
     def total_seconds(self) -> float:

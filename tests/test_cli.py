@@ -32,9 +32,56 @@ class TestCliRun:
                    "--scheme", "diamond", "-b", "2"])
         assert rc == 0
 
-    def test_unknown_kernel(self):
-        with pytest.raises(KeyError):
-            main(["run", "heat9d"])
+    def test_unknown_kernel_maps_to_usage_exit(self, capsys):
+        rc = main(["run", "heat9d"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestCliResilience:
+    """Structured exit codes and the --resilient/--inject flag pair."""
+
+    def test_resilient_recovers_injected_faults(self, capsys):
+        rc = main(["run", "heat2d", "--shape", "48", "48", "--steps", "8",
+                   "-b", "4", "--threads", "2", "--resilient",
+                   "--inject", "crash@1/0", "--inject", "corrupt@3"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "resilience:" in out
+        assert "verified against naive sweep: OK" in out
+
+    def test_persistent_crash_exits_3(self, capsys):
+        rc = main(["run", "heat1d", "--shape", "300", "--steps", "8",
+                   "-b", "4", "--inject", "crash@1x999"])
+        assert rc == 3
+        assert "execution failed:" in capsys.readouterr().err
+
+    def test_fail_fast_corruption_exits_4(self, capsys):
+        rc = main(["run", "heat1d", "--shape", "300", "--steps", "8",
+                   "-b", "4", "--fail-fast", "--inject", "corrupt@1"])
+        assert rc == 4
+        assert "guard violation:" in capsys.readouterr().err
+
+    def test_bad_inject_spec_exits_2(self, capsys):
+        rc = main(["run", "heat1d", "--inject", "explode@1"])
+        assert rc == 2
+        assert "bad fault spec" in capsys.readouterr().err
+
+    def test_dist_resilient_recovers_dropped_exchange(self, capsys):
+        rc = main(["dist", "heat1d", "--shape", "400", "--steps", "16",
+                   "-b", "4", "--ranks", "4", "--resilient",
+                   "--inject", "drop@2/1"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "verified OK" in out
+        assert "phase_restarts=1" in out
+
+    def test_dist_undersized_ghost_exits_4(self, capsys):
+        rc = main(["dist", "heat1d", "--shape", "400", "--steps", "16",
+                   "-b", "4", "--ranks", "4", "--check-divergence",
+                   "--ghost", "1"])
+        assert rc == 4
+        assert "divergence" in capsys.readouterr().err
 
 
 class TestCliShow:

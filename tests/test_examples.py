@@ -37,6 +37,14 @@ def test_high_order_and_periodic(capsys):
     assert "both §3.6 extensions verified" in out
 
 
+def test_fault_tolerance(capsys):
+    _run("fault_tolerance.py")
+    out = capsys.readouterr().out
+    assert "recovered bit-identical to fault-free run: True" in out
+    assert "structured error" in out
+    assert "recovered bit-identical: True" in out
+
+
 def test_examples_exist():
     present = {p.name for p in EXAMPLES.glob("*.py")}
     assert {"quickstart.py", "game_of_life.py", "compare_schemes.py",
