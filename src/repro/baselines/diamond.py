@@ -86,6 +86,10 @@ def diamond_schedule(
         if cut_dims is not None:
             raise ValueError("pass either cut_dim or cut_dims, not both")
         cut_dims = (cut_dim,)
+    shape = tuple(int(n) for n in shape)
+    if any(n == 0 for n in shape):
+        # empty interior: nothing to update, a valid empty schedule
+        return RegionSchedule(scheme="diamond", shape=shape, steps=steps)
     lattice = diamond_lattice(spec, shape, b, cut_dims=cut_dims)
     sched = tess_schedule(spec, tuple(int(n) for n in shape), lattice, steps)
     sched.scheme = "diamond"

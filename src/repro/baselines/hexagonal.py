@@ -72,6 +72,11 @@ def hexagonal_schedule(
     admissible because flat-edge width equals plateau width by
     construction.
     """
+    shape = tuple(int(n) for n in shape)
+    if any(n == 0 for n in shape):
+        # empty interior: nothing to update, a valid empty schedule
+        return RegionSchedule(scheme="hexagonal", shape=shape,
+                              steps=steps)
     lattice = hexagonal_lattice(spec, shape, b, hex_width, cut_dim=cut_dim)
     sched = tess_schedule(spec, tuple(int(n) for n in shape), lattice,
                           steps, merged=merged)

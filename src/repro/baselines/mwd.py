@@ -72,6 +72,9 @@ def mwd_schedule(
         chunk_dim = others[-1] if others else cut_dim
     if not 0 <= chunk_dim < d:
         raise ValueError(f"chunk_dim {chunk_dim} out of range")
+    if any(n == 0 for n in shape):
+        # empty interior: nothing to update, a valid empty schedule
+        return RegionSchedule(scheme="mwd", shape=shape, steps=steps)
     lattice = diamond_lattice(spec, shape, b, cut_dims=(cut_dim,))
     slopes = tuple(p.sigma for p in lattice.profiles)
     sched = RegionSchedule(scheme="mwd", shape=shape, steps=steps)

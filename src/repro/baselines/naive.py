@@ -33,6 +33,9 @@ def naive_schedule(
     shape = tuple(int(n) for n in shape)
     if len(shape) != spec.ndim:
         raise ValueError(f"shape rank {len(shape)} != ndim {spec.ndim}")
+    if any(n == 0 for n in shape):
+        # empty interior: nothing to update, a valid empty schedule
+        return RegionSchedule(scheme="naive", shape=shape, steps=steps)
     n0 = shape[0]
     chunks = min(chunks, n0)
     bounds = [round(k * n0 / chunks) for k in range(chunks + 1)]

@@ -60,7 +60,7 @@ def overlapped_schedule(
     slopes = spec.slopes
     grids = [range(0, n, t) for n, t in zip(shape, tile)]
     sched = RegionSchedule(scheme="overlapped", shape=shape, steps=steps,
-                           private_tasks=True)
+                           private_tasks=True, redundant=True)
     group = 0
     tt = 0
     while tt < steps:

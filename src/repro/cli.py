@@ -11,14 +11,21 @@ Commands
 * ``dist``   — §4.1: verified multi-rank execution plus an α–β
   cluster strong-scaling estimate;
 * ``table``  — print the paper's Table 1 for a given dimension;
-* ``bench``  — forward to :mod:`repro.bench` (regenerate figures).
+* ``bench``  — forward to :mod:`repro.bench` (regenerate figures);
+* ``sanitize`` — structural schedule sanitizer: prove tessellation,
+  ping-pong dependence legality and intra-group race freedom for a
+  scheme (or the distributed plan with ``--ranks``) without executing
+  it; ``--mutate kind@group[/task]`` plants a seeded bug first.
 
 ``run`` and ``dist`` take ``--resilient``/``--fail-fast`` plus
 ``--inject kind@group[/task][xN]`` fault specs (see
-``docs/resilience.md``).  Errors map to distinct exit codes instead of
-tracebacks: 1 = numerical mismatch, 2 = usage/:class:`ValueError`,
+``docs/resilience.md``), and ``--sanitize`` to refuse structurally
+illegal schedules before execution (see ``docs/sanitizer.md``).
+Errors map to distinct exit codes instead of tracebacks:
+1 = numerical mismatch, 2 = usage/:class:`ValueError`,
 3 = :class:`ExecutionError`, 4 = :class:`GuardViolation` (invariant
-guard / ghost-band divergence).
+guard / ghost-band divergence), 5 = :class:`SanitizerViolation`
+(structurally illegal schedule).
 """
 
 from __future__ import annotations
@@ -32,10 +39,16 @@ import numpy as np
 from repro.runtime.errors import (
     EXIT_EXECUTION,
     EXIT_GUARD,
+    EXIT_SANITIZER,
     EXIT_USAGE,
     ExecutionError,
     GuardViolation,
+    SanitizerViolation,
 )
+
+#: schemes the CLI can build a RegionSchedule for
+SCHEMES = ["naive", "spatial", "tess", "tess-unmerged", "diamond",
+           "pochoir", "mwd", "skewed", "hexagonal", "overlapped"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,14 +63,13 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--shape", type=int, nargs="+", default=None,
                      help="grid extents (default: kernel-appropriate)")
     run.add_argument("--steps", type=int, default=32)
-    run.add_argument("--scheme", default="tess",
-                     choices=["naive", "tess", "tess-unmerged", "diamond",
-                              "pochoir", "mwd", "overlapped"])
+    run.add_argument("--scheme", default="tess", choices=SCHEMES)
     run.add_argument("-b", "--depth", type=int, default=8,
                      help="time-tile depth b")
     run.add_argument("--threads", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
     _add_resilience_args(run)
+    _add_sanitizer_args(run)
     run.add_argument("--checkpoint-every", type=int, default=1,
                      metavar="N", help="checkpoint every N barrier "
                      "groups in --resilient mode (0 = initial only)")
@@ -94,6 +106,36 @@ def _build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--check-divergence", action="store_true",
                       help="run the ghost-band divergence detector "
                       "(implied by --resilient)")
+    dist.add_argument("--sanitize", action="store_true",
+                      help="ghost-band-aware structural pre-flight: "
+                      "refuse an illegal plan (e.g. an under-sized "
+                      "--ghost) before executing it (exit 5)")
+
+    san = sub.add_parser(
+        "sanitize",
+        help="prove tessellation/dependence/race invariants of a scheme",
+    )
+    san.add_argument("scheme", choices=SCHEMES + ["all"],
+                     help="scheme to sanitize ('all' = every scheme)")
+    san.add_argument("--kernel", default="heat1d",
+                     help="heat1d|1d5p|heat2d|2d9p|life|heat3d|3d27p")
+    san.add_argument("--shape", type=int, nargs="+", default=None)
+    san.add_argument("--steps", type=int, default=16)
+    san.add_argument("-b", "--depth", type=int, default=4)
+    san.add_argument("--mutate", action="append", default=[],
+                     metavar="SPEC",
+                     help="plant a seeded bug before sanitizing: "
+                     "kind@group[/task], kind in "
+                     "drop-action|shift-region|merge-groups (repeatable)")
+    san.add_argument("--ranks", type=int, default=None,
+                     help="sanitize the distributed (rank-local) plan "
+                     "over N ranks instead of the shared-memory schedule "
+                     "(tessellation only)")
+    san.add_argument("--ghost", type=int, default=None,
+                     help="ghost-band width override to validate with "
+                     "--ranks")
+    san.add_argument("-v", "--verbose", action="store_true",
+                     help="list every violation, not just the first")
 
     table = sub.add_parser("table", help="print Table 1 properties")
     table.add_argument("--max-dim", type=int, default=6)
@@ -119,10 +161,29 @@ def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
                      "crash|corrupt|stall|drop|garble (repeatable)")
 
 
+def _add_sanitizer_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--sanitize", action="store_true",
+                     help="structural pre-flight: refuse a schedule with "
+                     "tessellation/dependence/race violations (exit 5)")
+    sub.add_argument("--mutate", action="append", default=[],
+                     metavar="SPEC",
+                     help="plant a seeded schedule bug: kind@group[/task], "
+                     "kind in drop-action|shift-region|merge-groups "
+                     "(repeatable; for exercising --sanitize)")
+
+
 def _fault_plan(args):
     from repro.runtime.faults import FaultPlan
 
     return FaultPlan.parse(args.inject) if args.inject else None
+
+
+def _apply_mutations(sched, specs):
+    from repro.runtime.mutations import apply_mutation
+
+    for spec_str in specs:
+        sched = apply_mutation(sched, spec_str)
+    return sched
 
 
 def _default_shape(spec) -> tuple:
@@ -131,15 +192,26 @@ def _default_shape(spec) -> tuple:
 
 def _build_schedule(spec, shape, steps, scheme, b):
     from repro.baselines import (
-        diamond_schedule, mwd_schedule, naive_schedule, overlapped_schedule,
+        diamond_schedule, hexagonal_schedule, mwd_schedule, naive_schedule,
+        overlapped_schedule, skewed_schedule, spatial_schedule,
         trapezoid_schedule,
     )
     from repro.core import make_lattice
     from repro.core.schedules import tess_schedule
     from repro.runtime import levelize
 
+    shape = tuple(int(n) for n in shape)
+    if any(n == 0 for n in shape):
+        # empty interior: every scheme degenerates to an empty schedule
+        # (the lattice builders cannot even represent a 0-cell axis)
+        from repro.runtime import RegionSchedule
+
+        return RegionSchedule(scheme=scheme, shape=shape, steps=steps)
     if scheme == "naive":
         return naive_schedule(spec, shape, steps, chunks=8)
+    if scheme == "spatial":
+        tile = tuple(max(4, n // 8) for n in shape)
+        return spatial_schedule(spec, shape, steps, tile)
     if scheme in ("tess", "tess-unmerged"):
         lat = make_lattice(spec, shape, b)
         return tess_schedule(spec, shape, lat, steps,
@@ -151,6 +223,12 @@ def _build_schedule(spec, shape, steps, scheme, b):
                                                  base_dt=max(2, b // 2)))
     if scheme == "mwd":
         return mwd_schedule(spec, shape, b, steps)
+    if scheme == "skewed":
+        width = max(spec.slopes[0], max(4, shape[0] // 8))
+        return skewed_schedule(spec, shape, steps, width)
+    if scheme == "hexagonal":
+        return hexagonal_schedule(spec, shape, b, steps,
+                                  hex_width=max(b, 2))
     if scheme == "overlapped":
         tile = tuple(max(4, n // 8) for n in shape)
         return overlapped_schedule(spec, shape, steps, tile, max(1, b // 2))
@@ -170,12 +248,21 @@ def cmd_run(args) -> int:
     spec = get_stencil(args.kernel)
     shape = tuple(args.shape) if args.shape else _default_shape(spec)
     sched = _build_schedule(spec, shape, args.steps, args.scheme, args.depth)
+    if args.mutate:
+        print(f"mutating: {', '.join(args.mutate)}")
+        sched = _apply_mutations(sched, args.mutate)
     st = schedule_stats(sched)
     print(spec.describe())
     print(f"scheme={args.scheme} shape={shape} steps={args.steps} "
           f"b={args.depth}")
     print(f"tasks={st['tasks']} barriers={st['groups']} "
           f"redundancy={st['redundancy'] * 100:.1f}%")
+    if args.sanitize:
+        from repro.runtime import sanitize_schedule
+
+        report = sanitize_schedule(spec, sched)
+        print(f"sanitizer: {report.describe()}")
+        report.raise_if_violations()
     plan = _fault_plan(args)
     if (args.resilient or plan is not None) and not sched.private_tasks:
         if args.resilient:
@@ -272,6 +359,7 @@ def cmd_dist(args) -> int:
         check_divergence=args.check_divergence or args.resilient,
         resilient=args.resilient,
         ghost_override=args.ghost,
+        sanitize=args.sanitize,
     )
     ok = (np.array_equal(ref, out)
           if np.issubdtype(spec.dtype, np.integer)
@@ -297,6 +385,49 @@ def cmd_dist(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_sanitize(args) -> int:
+    from repro import get_stencil, make_lattice
+    from repro.runtime import sanitize_distributed_plan, sanitize_schedule
+
+    spec = get_stencil(args.kernel)
+    shape = tuple(args.shape) if args.shape else {
+        1: (400,), 2: (64, 64), 3: (20, 20, 20)
+    }[spec.ndim]
+
+    if args.ranks is not None:
+        if args.scheme not in ("tess", "all"):
+            raise ValueError(
+                "--ranks sanitizes the distributed tessellation plan; "
+                "use scheme 'tess'"
+            )
+        lat = make_lattice(spec, shape, args.depth)
+        report = sanitize_distributed_plan(
+            spec, lat, args.steps, args.ranks, ghost=args.ghost,
+        )
+        reports = [("tess-distributed", report)]
+    else:
+        schemes = SCHEMES if args.scheme == "all" else [args.scheme]
+        reports = []
+        for scheme in schemes:
+            sched = _build_schedule(spec, shape, args.steps, scheme,
+                                    args.depth)
+            if args.mutate:
+                sched = _apply_mutations(sched, args.mutate)
+            reports.append((scheme, sanitize_schedule(spec, sched)))
+
+    worst = None
+    for scheme, report in reports:
+        print(f"{scheme}: {report.describe()}")
+        if args.verbose:
+            for v in report.violations:
+                print(f"  - {v.describe()}")
+        if not report.ok and worst is None:
+            worst = (scheme, report)
+    if worst is not None:
+        raise SanitizerViolation(worst[0], worst[1].violations)
+    return 0
+
+
 def cmd_table(args) -> int:
     from repro.bench.experiments import table1_properties
 
@@ -317,11 +448,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         "show": cmd_show,
         "tune": cmd_tune,
         "dist": cmd_dist,
+        "sanitize": cmd_sanitize,
         "table": cmd_table,
         "bench": cmd_bench,
     }[args.command]
     try:
         return cmd(args)
+    except SanitizerViolation as e:
+        print(f"sanitizer violation: {e}", file=sys.stderr)
+        for v in e.violations:
+            print(f"  - {v.describe()}", file=sys.stderr)
+        return EXIT_SANITIZER
     except GuardViolation as e:
         print(f"guard violation: {e}", file=sys.stderr)
         return EXIT_GUARD

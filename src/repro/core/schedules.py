@@ -48,6 +48,10 @@ def tess_schedule(
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
     shape = tuple(int(n) for n in shape)
+    if any(n == 0 for n in shape):
+        # empty interior: nothing to update, a valid empty schedule
+        name = "tessellation-merged" if merged else "tessellation"
+        return RegionSchedule(scheme=name, shape=shape, steps=steps)
     if lattice.shape != shape:
         raise ValueError(f"lattice shape {lattice.shape} != {shape}")
     b = lattice.b

@@ -85,6 +85,7 @@ def execute_distributed(
     max_phase_restarts: int = 2,
     ghost_override: Optional[int] = None,
     trace: Optional[ExecutionTrace] = None,
+    sanitize: bool = False,
 ) -> Tuple[np.ndarray, CommStats]:
     """Run ``steps`` tessellated steps across ``ranks`` simulated ranks.
 
@@ -101,11 +102,30 @@ def execute_distributed(
     different from the lattice-derived one — the detector always
     validates against the *required* width, which is how an under-sized
     band is caught instead of silently corrupting the run.
+    ``sanitize`` runs the ghost-band-aware structural sanitizer
+    (:func:`repro.runtime.sanitizer.sanitize_distributed_plan`) as a
+    pre-flight, catching an under-sized ``ghost_override`` *before*
+    execution rather than via numeric divergence.
     """
     if spec.is_periodic:
         raise ValueError("distributed executor assumes Dirichlet boundaries")
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
+    if sanitize:
+        from repro.runtime.sanitizer import sanitize_distributed_plan
+
+        san = sanitize_distributed_plan(spec, lattice, steps, ranks,
+                                        axis=axis, ghost=ghost_override)
+        if trace is not None:
+            trace.record_event("sanitize", 0, seconds=san.seconds,
+                               detail=f"{len(san.violations)} violation(s), "
+                                      f"{san.actions_checked} action(s)")
+            for v in san.violations:
+                trace.record_event(
+                    "violation", v.group if v.group is not None else -1,
+                    label=v.task or "", detail=v.describe(),
+                )
+        san.raise_if_violations()
     if resilient:
         check_divergence = True
     part = SlabPartition(grid.shape, ranks, axis=axis)

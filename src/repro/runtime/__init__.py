@@ -23,6 +23,12 @@ On top of that one representation sit:
   guards.  Barrier groups double as consistency points: at every
   barrier the ping-pong pair is a complete state, so a snapshot plus
   the group index is all a restart needs.
+* the structural sanitizer (:mod:`~repro.runtime.sanitizer`) — a
+  symbolic interval-arithmetic analysis proving tessellation
+  (Theorem 3.5), ping-pong dependence legality (Theorem 3.6) and
+  intra-group race freedom for any schedule *before* it runs, with
+  seeded-bug mutators (:mod:`~repro.runtime.mutations`) as its test
+  harness.
 """
 
 from repro.runtime.schedule import (
@@ -42,6 +48,7 @@ from repro.runtime.errors import (
     GhostDivergenceError,
     GuardViolation,
     InjectedFault,
+    SanitizerViolation,
 )
 from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.resilience import (
@@ -49,6 +56,19 @@ from repro.runtime.resilience import (
     ResiliencePolicy,
     ResilienceReport,
     execute_resilient,
+)
+from repro.runtime.sanitizer import (
+    SanitizerReport,
+    Violation,
+    sanitize_distributed_plan,
+    sanitize_schedule,
+)
+from repro.runtime.mutations import (
+    MUTATION_KINDS,
+    apply_mutation,
+    drop_action,
+    merge_groups,
+    shift_region,
 )
 
 __all__ = [
@@ -74,4 +94,14 @@ __all__ = [
     "ResiliencePolicy",
     "ResilienceReport",
     "execute_resilient",
+    "SanitizerViolation",
+    "SanitizerReport",
+    "Violation",
+    "sanitize_schedule",
+    "sanitize_distributed_plan",
+    "MUTATION_KINDS",
+    "apply_mutation",
+    "drop_action",
+    "merge_groups",
+    "shift_region",
 ]

@@ -16,16 +16,21 @@ tracebacks:
   (non-finite values after a barrier group, structural pre-flight);
 * :class:`GhostDivergenceError` — the distributed simulator's
   neighbour-consistency detector found ranks disagreeing on the
-  authoritative values of a boundary band.
+  authoritative values of a boundary band;
+* :class:`SanitizerViolation` — the structural schedule sanitizer
+  (:mod:`repro.runtime.sanitizer`) found a tessellation gap, double
+  write, dependence violation, intra-group race or ghost-band breach
+  *before* execution; carries the full violation list.
 
 Exit-code mapping used by ``python -m repro`` (see
 :func:`repro.cli.main`): usage/:class:`ValueError` → 2,
-:class:`ExecutionError` → 3, :class:`GuardViolation` → 4.
+:class:`ExecutionError` → 3, :class:`GuardViolation` → 4,
+:class:`SanitizerViolation` → 5.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 #: CLI exit codes (0 = success, 1 = numerical mismatch — legacy).
 EXIT_OK = 0
@@ -33,6 +38,7 @@ EXIT_MISMATCH = 1
 EXIT_USAGE = 2
 EXIT_EXECUTION = 3
 EXIT_GUARD = 4
+EXIT_SANITIZER = 5
 
 
 class InjectedFault(RuntimeError):
@@ -96,6 +102,32 @@ class ExecutionError(RuntimeError):
 
 class GuardViolation(ExecutionError):
     """A runtime invariant guard failed (non-finite sweep, pre-flight)."""
+
+
+class SanitizerViolation(GuardViolation):
+    """The schedule sanitizer found structural invariant violations.
+
+    A :class:`GuardViolation` subclass (it is a pre-flight invariant
+    guard), but mapped to its own exit code 5 so callers can tell a
+    *structurally illegal schedule* apart from a runtime guard firing.
+    ``violations`` holds the sanitizer's full
+    :class:`~repro.runtime.sanitizer.Violation` list; the message
+    names the first offender's step/group/task.
+    """
+
+    def __init__(self, scheme: str, violations: List):
+        self.violations = list(violations)
+        first = self.violations[0] if self.violations else None
+        summary = first.describe() if first is not None else "unknown"
+        extra = (f" (+{len(self.violations) - 1} more)"
+                 if len(self.violations) > 1 else "")
+        ExecutionError.__init__(
+            self,
+            f"schedule failed sanitizer: {summary}{extra}",
+            scheme=scheme,
+            group=getattr(first, "group", None),
+            task_label=getattr(first, "task", None),
+        )
 
 
 class GhostDivergenceError(GuardViolation):

@@ -74,6 +74,10 @@ class ResiliencePolicy:
     guard_nonfinite: bool = True
     #: soft per-task deadline; overruns count as task failures (None = off)
     task_deadline_s: Optional[float] = None
+    #: run the structural sanitizer (tessellation / dependence / race
+    #: analysis, :mod:`repro.runtime.sanitizer`) as a pre-flight and
+    #: refuse to execute a schedule with violations
+    sanitize: bool = False
 
 
 @dataclass
@@ -296,6 +300,22 @@ def execute_resilient(
             f"grid shape {grid.shape} != schedule shape {schedule.shape}"
         )
     schedule.validate_structure()  # pre-flight guard on every entry
+    if policy.sanitize:
+        from repro.runtime.errors import SanitizerViolation
+        from repro.runtime.sanitizer import sanitize_schedule
+
+        san = sanitize_schedule(spec, schedule)
+        if trace is not None:
+            trace.record_event("sanitize", 0, seconds=san.seconds,
+                               detail=f"{len(san.violations)} violation(s), "
+                                      f"{san.actions_checked} action(s)")
+            for v in san.violations:
+                trace.record_event(
+                    "violation", v.group if v.group is not None else -1,
+                    label=v.task or "", detail=v.describe(),
+                )
+        if not san.ok:
+            raise SanitizerViolation(schedule.scheme, san.violations)
 
     groups = schedule.groups()
     gids = sorted(groups)

@@ -100,6 +100,12 @@ class RegionSchedule:
     #: True for ghost-zone schemes whose tasks need private storage
     #: (see repro.baselines.overlapped); execute_schedule refuses them.
     private_tasks: bool = False
+    #: Explicit declaration that the scheme recomputes points
+    #: (overlapped tiling): the sanitizer only tolerates a point being
+    #: written twice per step when this is set — duplicate updates of
+    #: undeclared schemes are flagged even though they would pass the
+    #: empirical check by writing identical values.
+    redundant: bool = False
     #: Relative cost of one inter-group synchronisation (1.0 = a full
     #: OpenMP-style barrier; MWD-style intra-group wavefront syncs are
     #: cheaper).  Consumed by the machine model.
@@ -172,8 +178,19 @@ def execute_schedule(spec: StencilSpec, grid: Grid,
 
 def verify_schedule(spec: StencilSpec, schedule: RegionSchedule,
                     seed: int = 0, rtol: float = 1e-11,
-                    atol: float = 1e-12) -> bool:
-    """Check a schedule against the naive reference on a random grid."""
+                    atol: float = 1e-12, sanitize: bool = False) -> bool:
+    """Check a schedule against the naive reference on a random grid.
+
+    With ``sanitize=True`` the structural sanitizer
+    (:func:`repro.runtime.sanitizer.sanitize_schedule`) runs first and
+    raises :class:`~repro.runtime.errors.SanitizerViolation` on any
+    finding — catching races and dependence bugs the numeric diff is
+    blind to (e.g. double writes of identical values).
+    """
+    if sanitize:
+        from repro.runtime.sanitizer import sanitize_schedule
+
+        sanitize_schedule(spec, schedule).raise_if_violations()
     g_ref = Grid(spec, schedule.shape, init="random", seed=seed)
     g_sch = g_ref.copy()
     ref = reference_sweep(spec, g_ref, schedule.steps)

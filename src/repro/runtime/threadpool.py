@@ -66,6 +66,7 @@ def execute_threaded(
     schedule: RegionSchedule,
     num_threads: int = 4,
     fault_plan: Optional[FaultPlan] = None,
+    sanitize: bool = False,
 ) -> np.ndarray:
     """Execute a schedule with ``num_threads`` worker threads.
 
@@ -73,7 +74,12 @@ def execute_threaded(
     first task exception cancels the group's pending tasks and raises
     :class:`ExecutionError` carrying the scheme/group/task context.
     ``fault_plan`` is the deterministic injection harness hook (see
-    :mod:`repro.runtime.faults`).
+    :mod:`repro.runtime.faults`).  With ``sanitize=True`` the
+    structural sanitizer runs as a pre-flight and raises
+    :class:`~repro.runtime.errors.SanitizerViolation` before any
+    buffer is touched — the check that makes the "tasks of one group
+    are independent" assumption above an enforced invariant instead
+    of a convention.
     """
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
@@ -83,6 +89,10 @@ def execute_threaded(
         raise ValueError(
             f"grid shape {grid.shape} != schedule shape {schedule.shape}"
         )
+    if sanitize:
+        from repro.runtime.sanitizer import sanitize_schedule
+
+        sanitize_schedule(spec, schedule).raise_if_violations()
     groups = schedule.groups()
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
         for gid in sorted(groups):

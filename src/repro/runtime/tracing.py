@@ -37,7 +37,7 @@ class RuntimeEvent:
     overhead sits, next to the per-task compute timings.
     """
 
-    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault"
+    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault" | "sanitize" | "violation"
     group: int
     label: str = ""
     seconds: float = 0.0

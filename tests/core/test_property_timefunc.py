@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) for the update-time functions.
+
+Random ``(d, b, slopes, shape)`` within the supported ranges must
+satisfy the paper's algebra everywhere, not just on the hand-picked
+examples of ``tests/core/test_timefunc.py``:
+
+* per-point update counts sum to exactly ``b`` per phase
+  (Theorem 3.5, both the gap form and ``lemma_3_2``), and
+* the stage windows ``[b - a_(i-1), b - a_(i))`` partition ``[0, b)``;
+
+and ``tess_schedule`` must realise the same invariant geometrically:
+for any supported lattice, every phase performs exactly
+``interior volume × phase span`` point updates with a clean sanitizer
+report (exact tessellation, legal dependences, no races).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import get_stencil
+from repro.core import make_lattice
+from repro.core.schedules import tess_schedule
+from repro.core.timefunc import (
+    lemma_3_2,
+    stage_window,
+    theorem_3_5_holds,
+    update_counts,
+)
+from repro.runtime import sanitize_schedule
+
+pytestmark = pytest.mark.sanitizer
+
+
+# a distance vector: d entries in [0, b], plus the b that caps them
+dist_vectors = st.integers(min_value=1, max_value=12).flatmap(
+    lambda b: st.tuples(
+        st.just(b),
+        st.lists(st.integers(min_value=0, max_value=b),
+                 min_size=1, max_size=4),
+    )
+)
+
+
+class TestTimefuncProperties:
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_update_counts_sum_to_b(self, bv):
+        """Theorem 3.5: the stage gaps telescope to exactly b."""
+        b, a = bv
+        counts = update_counts(np.array(a), b)
+        assert counts.shape[-1] == len(a) + 1
+        assert np.all(counts >= 0)
+        assert counts.sum() == b
+        assert bool(theorem_3_5_holds(np.array(a), b))
+
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_lemma_3_2_matches_gap_form(self, bv):
+        """The min/max form equals the sorted-gap form for every stage."""
+        b, a = bv
+        arr = np.array(a)
+        counts = update_counts(arr, b)
+        for i in range(len(a) + 1):
+            assert lemma_3_2(arr, b, i) == counts[..., i]
+
+    @given(dist_vectors)
+    @settings(max_examples=200, deadline=None)
+    def test_stage_windows_partition_phase(self, bv):
+        """Windows [b-a_(i-1), b-a_(i)) tile [0, b) back to back."""
+        b, a = bv
+        arr = np.array(a)
+        d = len(a)
+        prev_end = 0
+        for i in range(d + 1):
+            start, end = stage_window(arr, b, i)
+            assert start == prev_end       # contiguous, no overlap, no gap
+            assert start <= end            # empty stages allowed
+            prev_end = int(end)
+        assert prev_end == b               # exactly the phase
+
+    @given(dist_vectors)
+    @settings(max_examples=100, deadline=None)
+    def test_batch_broadcasting_consistent(self, bv):
+        b, a = bv
+        batch = np.array([a, a])
+        single = update_counts(np.array(a), b)
+        assert np.array_equal(update_counts(batch, b)[0], single)
+
+
+# supported tessellation inputs: kernel picks (d, slopes); b and the
+# per-axis extents stay small enough for the suite to be fast but large
+# enough to exercise interior + boundary blocks
+tess_inputs = st.tuples(
+    st.sampled_from(["heat1d", "1d5p", "heat2d", "life"]),
+    st.integers(min_value=2, max_value=5),       # b
+    st.integers(min_value=20, max_value=60),     # axis extent seed
+    st.booleans(),                               # merged
+)
+
+
+class TestTessScheduleProperties:
+    @given(tess_inputs)
+    @settings(max_examples=25, deadline=None)
+    def test_phase_updates_and_sanitizer(self, inp):
+        """Every point advances exactly once per step, per Theorem 3.5:
+        total point updates == interior volume × steps, and the
+        schedule sanitizes clean."""
+        kernel, b, n, merged = inp
+        spec = get_stencil(kernel)
+        shape = tuple(n // (1 + j) + 4 for j in range(spec.ndim))
+        steps = 2 * b  # two full phases
+        lat = make_lattice(spec, shape, b)
+        sched = tess_schedule(spec, shape, lat, steps, merged=merged)
+        interior = int(np.prod(shape))
+        assert sched.total_points() == interior * steps
+        report = sanitize_schedule(spec, sched)
+        assert report.ok, report.describe()
+
+    @given(tess_inputs)
+    @settings(max_examples=10, deadline=None)
+    def test_partial_phase_also_exact(self, inp):
+        """Steps not a multiple of b: the clipped final phase still
+        tessellates exactly."""
+        kernel, b, n, merged = inp
+        spec = get_stencil(kernel)
+        shape = tuple(n // (1 + j) + 4 for j in range(spec.ndim))
+        steps = b + max(1, b // 2)
+        lat = make_lattice(spec, shape, b)
+        sched = tess_schedule(spec, shape, lat, steps, merged=merged)
+        assert sched.total_points() == int(np.prod(shape)) * steps
+        assert sanitize_schedule(spec, sched).ok

@@ -84,6 +84,75 @@ class TestCliResilience:
         assert "divergence" in capsys.readouterr().err
 
 
+@pytest.mark.sanitizer
+class TestCliSanitize:
+    """The sanitize subcommand and the --sanitize/--mutate flag pair."""
+
+    def test_sanitize_clean_scheme_exits_0(self, capsys):
+        rc = main(["sanitize", "tess", "--kernel", "heat1d",
+                   "--steps", "8", "-b", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "clean" in out
+
+    def test_sanitize_all_schemes_exits_0(self, capsys):
+        rc = main(["sanitize", "all", "--kernel", "heat1d",
+                   "--steps", "6", "-b", "4"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert out.count("clean") >= 8
+
+    def test_sanitize_mutated_exits_5(self, capsys):
+        rc = main(["sanitize", "tess", "--kernel", "heat1d",
+                   "--steps", "8", "-b", "4",
+                   "--mutate", "drop-action@0"])
+        err = capsys.readouterr().err
+        assert rc == 5
+        assert "sanitizer violation:" in err
+        assert "group" in err and "step" in err
+
+    def test_run_sanitize_clean_exits_0(self, capsys):
+        rc = main(["run", "heat1d", "--shape", "300", "--steps", "8",
+                   "--scheme", "tess", "-b", "4", "--sanitize"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "sanitizer:" in out and "clean" in out
+        assert "verified against naive sweep: OK" in out
+
+    def test_run_sanitize_mutated_exits_5(self, capsys):
+        rc = main(["run", "heat1d", "--shape", "300", "--steps", "8",
+                   "--scheme", "tess", "-b", "4", "--sanitize",
+                   "--mutate", "shift-region@0"])
+        assert rc == 5
+        assert "sanitizer violation:" in capsys.readouterr().err
+
+    def test_dist_sanitize_undersized_ghost_exits_5(self, capsys):
+        rc = main(["dist", "heat1d", "--shape", "400", "--steps", "8",
+                   "-b", "4", "--ranks", "4", "--ghost", "1",
+                   "--sanitize"])
+        err = capsys.readouterr().err
+        assert rc == 5
+        assert "ghost-band" in err and "required ghost width" in err
+
+    def test_dist_sanitize_clean_exits_0(self, capsys):
+        rc = main(["dist", "heat1d", "--shape", "400", "--steps", "8",
+                   "-b", "4", "--ranks", "4", "--sanitize"])
+        assert rc == 0
+        assert "verified OK" in capsys.readouterr().out
+
+    def test_sanitize_distributed_plan_via_ranks(self, capsys):
+        rc = main(["sanitize", "tess", "--kernel", "heat1d",
+                   "--steps", "8", "-b", "4", "--ranks", "4",
+                   "--ghost", "1"])
+        assert rc == 5
+        assert "ghost-band" in capsys.readouterr().err
+
+    def test_bad_mutate_spec_exits_2(self, capsys):
+        rc = main(["sanitize", "tess", "--mutate", "explode@0"])
+        assert rc == 2
+        assert "unknown mutation kind" in capsys.readouterr().err
+
+
 class TestCliShow:
     def test_show_renders_rows(self, capsys):
         rc = main(["show", "--scheme", "tess", "-n", "32",
