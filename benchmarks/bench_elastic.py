@@ -1,0 +1,86 @@
+"""Elastic process-runtime overhead (ISSUE 4).
+
+Measures what real rank processes cost over the in-process simulator
+on the fault-free path, and what one mid-run rank kill adds on top.
+Not a paper figure; this quantifies the engineering trade-off recorded
+in ``docs/distributed.md``: process spawn + pickled pipe traffic +
+per-phase checkpoint spills buy crash survival, and recovery must cost
+roughly one replayed phase — not a from-scratch rerun.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import Grid, get_stencil, make_lattice, reference_sweep
+from repro.distributed import (
+    ElasticConfig,
+    execute_distributed,
+    execute_elastic,
+)
+from repro.runtime import FaultPlan, FaultSpec
+
+pytestmark = pytest.mark.dist
+
+B = 4
+STEPS = 16
+SHAPE = (2000,)
+RANKS = 4
+
+#: recovery timings tightened so the kill benchmark converges quickly
+FAST = ElasticConfig(stall_timeout_s=0.6, heartbeat_timeout_s=1.5,
+                     deadline_s=120.0)
+
+
+def _build():
+    spec = get_stencil("heat1d")
+    lat = make_lattice(spec, SHAPE, B)
+    return spec, lat
+
+
+def test_elastic_vs_simulator_overhead(benchmark, capsys):
+    """Points/sec: simulator vs process runtime vs one healed kill."""
+    spec, lat = _build()
+    points = int(np.prod(SHAPE)) * STEPS
+    ref = reference_sweep(spec, Grid(spec, SHAPE, seed=0), STEPS)
+
+    def timed(fn):
+        grid = Grid(spec, SHAPE, seed=0)
+        t0 = time.perf_counter()
+        out, stats = fn(grid)
+        return time.perf_counter() - t0, out, stats
+
+    sim_s, sim_out, _ = benchmark.pedantic(
+        lambda: timed(lambda g: execute_distributed(
+            spec, g, lat, STEPS, RANKS)),
+        rounds=1, iterations=1)
+    ela_s, ela_out, ela_stats = timed(lambda g: execute_elastic(
+        spec, g, lat, STEPS, RANKS, config=FAST))
+    kill_s, kill_out, kill_stats = timed(lambda g: execute_elastic(
+        spec, g, lat, STEPS, RANKS, config=FAST,
+        fault_plan=FaultPlan([FaultSpec("kill_rank", group=3, task=1)])))
+
+    with capsys.disabled():
+        print("\n[elastic] process-runtime overhead, heat1d "
+              f"n={SHAPE[0]} steps={STEPS} b={B} ranks={RANKS}:")
+        print(f"  simulator    : {points / sim_s:12.0f} points/s")
+        print(f"  elastic      : {points / ela_s:12.0f} points/s "
+              f"({ela_stats.messages} msgs, {ela_stats.heartbeats} beats)")
+        print(f"  elastic+kill : {points / kill_s:12.0f} points/s "
+              f"({kill_stats.respawns} respawn, "
+              f"{kill_stats.phase_restarts} phase restart)")
+
+    # correctness first: every path is bit-identical to the reference
+    assert np.array_equal(ref, sim_out)
+    assert np.array_equal(ref, ela_out)
+    assert np.array_equal(ref, kill_out)
+    assert kill_stats.respawns == 1 and kill_stats.phase_restarts >= 1
+
+    # the process runtime pays spawn + IPC, but must stay within an
+    # order of magnitude of the simulator on a non-trivial run
+    assert ela_s < 60.0 * max(sim_s, 0.05)
+    # recovery replays committed state — one kill cannot cost more than
+    # a handful of fault-free runs (it re-executes ~one phase, plus a
+    # watchdog round trip and a respawn)
+    assert kill_s < 5.0 * max(ela_s, 0.5)

@@ -9,7 +9,10 @@ Commands
 * ``tune``   — auto-tune tessellation tile sizes on the simulated
   machine;
 * ``dist``   — §4.1: verified multi-rank execution plus an α–β
-  cluster strong-scaling estimate;
+  cluster strong-scaling estimate; ``--procs N`` runs the elastic
+  *process* runtime (real rank processes, heartbeats, checksummed
+  exchanges, rank-crash recovery — see ``docs/distributed.md``)
+  instead of the in-process simulator;
 * ``table``  — print the paper's Table 1 for a given dimension;
 * ``bench``  — forward to :mod:`repro.bench` (regenerate figures);
 * ``sanitize`` — structural schedule sanitizer: prove tessellation,
@@ -25,7 +28,10 @@ Errors map to distinct exit codes instead of tracebacks:
 1 = numerical mismatch, 2 = usage/:class:`ValueError`,
 3 = :class:`ExecutionError`, 4 = :class:`GuardViolation` (invariant
 guard / ghost-band divergence), 5 = :class:`SanitizerViolation`
-(structurally illegal schedule).
+(structurally illegal schedule), 6 = :class:`RankLostError` (rank
+process lost, respawn budget spent), 7 = :class:`ExchangeTimeoutError`
+(boundary band never arrived within the retry budget),
+8 = :class:`ChecksumMismatchError` (band payload kept failing its CRC).
 """
 
 from __future__ import annotations
@@ -37,12 +43,18 @@ from typing import List, Optional
 import numpy as np
 
 from repro.runtime.errors import (
+    EXIT_CHECKSUM,
+    EXIT_EXCHANGE_TIMEOUT,
     EXIT_EXECUTION,
     EXIT_GUARD,
+    EXIT_RANK_LOST,
     EXIT_SANITIZER,
     EXIT_USAGE,
+    ChecksumMismatchError,
+    ExchangeTimeoutError,
     ExecutionError,
     GuardViolation,
+    RankLostError,
     SanitizerViolation,
 )
 
@@ -98,6 +110,18 @@ def _build_parser() -> argparse.ArgumentParser:
     dist.add_argument("-b", "--depth", type=int, default=4)
     dist.add_argument("--ranks", type=int, default=4)
     dist.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8])
+    dist.add_argument("--procs", type=int, default=None, metavar="N",
+                      help="run the elastic process runtime with N real "
+                      "rank processes (heartbeats, checksummed exchanges, "
+                      "crash recovery) instead of the in-process simulator")
+    dist.add_argument("--heartbeat-ms", type=float, default=20.0,
+                      help="worker heartbeat period in --procs mode "
+                      "(default 20 ms)")
+    dist.add_argument("--max-retries", type=int, default=3,
+                      help="per-message retransmit budget in --procs mode")
+    dist.add_argument("--max-respawns", type=int, default=2,
+                      help="per-rank respawn budget in --procs "
+                      "--resilient mode")
     _add_resilience_args(dist)
     dist.add_argument("--ghost", type=int, default=None,
                       help="override the exchanged ghost-band width "
@@ -158,7 +182,9 @@ def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
                      metavar="SPEC",
                      help="inject a deterministic fault: "
                      "kind@group[/task][xN], kind in "
-                     "crash|corrupt|stall|drop|garble (repeatable)")
+                     "crash|corrupt|stall|drop|garble (shared-memory / "
+                     "simulated paths) or kill_rank|stall_rank|drop_msg|"
+                     "flip_bits (process runtime, --procs) (repeatable)")
 
 
 def _add_sanitizer_args(sub: argparse.ArgumentParser) -> None:
@@ -353,24 +379,45 @@ def cmd_dist(args) -> int:
     plan = _fault_plan(args)
     if plan is not None:
         print(f"injecting: {plan.describe()}")
-    out, stats = execute_distributed(
-        spec, g.copy(), lat, args.steps, args.ranks,
-        fault_plan=plan,
-        check_divergence=args.check_divergence or args.resilient,
-        resilient=args.resilient,
-        ghost_override=args.ghost,
-        sanitize=args.sanitize,
-    )
+    if args.procs is not None:
+        from repro.distributed import ElasticConfig, RetryPolicy
+        from repro.distributed.elastic import execute_elastic
+
+        ranks = args.procs
+        # without --resilient, every recovery budget is zero: the first
+        # rank loss / exhausted exchange dies with its typed exit code
+        config = ElasticConfig(
+            heartbeat_s=args.heartbeat_ms / 1e3,
+            heartbeat_timeout_s=max(1.0, 50 * args.heartbeat_ms / 1e3),
+            retry=RetryPolicy(max_retries=args.max_retries),
+            max_respawns=args.max_respawns if args.resilient else 0,
+            max_phase_restarts=4 if args.resilient else 0,
+        )
+        out, stats = execute_elastic(
+            spec, g.copy(), lat, args.steps, ranks,
+            fault_plan=plan, config=config,
+            ghost_override=args.ghost, sanitize=args.sanitize,
+        )
+        kind = "rank process(es)"
+    else:
+        ranks = args.ranks
+        out, stats = execute_distributed(
+            spec, g.copy(), lat, args.steps, ranks,
+            fault_plan=plan,
+            check_divergence=args.check_divergence or args.resilient,
+            resilient=args.resilient,
+            ghost_override=args.ghost,
+            sanitize=args.sanitize,
+        )
+        kind = "simulated ranks"
     ok = (np.array_equal(ref, out)
           if np.issubdtype(spec.dtype, np.integer)
           else np.allclose(ref, out, rtol=1e-11, atol=1e-12))
-    print(f"{args.ranks} simulated ranks on {shape}: "
+    print(f"{ranks} {kind} on {shape}: "
           f"{'verified OK' if ok else 'MISMATCH'}; "
           f"{stats.messages} messages, {stats.bytes_sent} bytes")
-    if stats.drops or stats.garbles or stats.phase_restarts:
-        print(f"resilience: drops={stats.drops} garbles={stats.garbles} "
-              f"phase_restarts={stats.phase_restarts} "
-              f"divergence_checks={stats.divergence_checks}")
+    if stats.had_faults:
+        print(f"resilience: {stats.describe_resilience()}")
     rows = []
     base = None
     for n in args.nodes:
@@ -462,6 +509,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     except GuardViolation as e:
         print(f"guard violation: {e}", file=sys.stderr)
         return EXIT_GUARD
+    except RankLostError as e:
+        print(f"rank lost: {e}", file=sys.stderr)
+        return EXIT_RANK_LOST
+    except ExchangeTimeoutError as e:
+        print(f"exchange timeout: {e}", file=sys.stderr)
+        return EXIT_EXCHANGE_TIMEOUT
+    except ChecksumMismatchError as e:
+        print(f"checksum mismatch: {e}", file=sys.stderr)
+        return EXIT_CHECKSUM
     except ExecutionError as e:
         print(f"execution failed: {e}", file=sys.stderr)
         return EXIT_EXECUTION

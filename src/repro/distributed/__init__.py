@@ -16,20 +16,32 @@ This subpackage builds that plan on the simulated substrate:
 * :mod:`~repro.distributed.plan` — the analytic per-stage
   communication-volume plan derived from the real schedules;
 * :mod:`~repro.distributed.model` — a cluster cost model
-  (per-node machine × latency/bandwidth network) on top of it.
+  (per-node machine × latency/bandwidth network) on top of it;
+* :mod:`~repro.distributed.transport` /
+  :mod:`~repro.distributed.worker` /
+  :mod:`~repro.distributed.elastic` — the elastic *process* runtime:
+  real rank processes, checksummed boundary-band exchanges with
+  timeout/backoff retransmits, heartbeat watchdog, and rank-crash
+  recovery from phase checkpoints (see ``docs/distributed.md``).
 """
 
-from repro.distributed.partition import SlabPartition
+from repro.distributed.partition import SlabPartition, build_ownership
 from repro.distributed.exec import CommStats, execute_distributed
 from repro.distributed.plan import communication_plan, CommPlanEntry
 from repro.distributed.model import ClusterSpec, simulate_distributed
+from repro.distributed.transport import RetryPolicy
+from repro.distributed.elastic import ElasticConfig, execute_elastic
 
 __all__ = [
     "SlabPartition",
+    "build_ownership",
     "CommStats",
     "execute_distributed",
     "communication_plan",
     "CommPlanEntry",
     "ClusterSpec",
     "simulate_distributed",
+    "RetryPolicy",
+    "ElasticConfig",
+    "execute_elastic",
 ]

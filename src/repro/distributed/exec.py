@@ -37,9 +37,8 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.blocks import build_phase_plan
 from repro.core.profiles import TessLattice
-from repro.distributed.partition import SlabPartition
+from repro.distributed.partition import SlabPartition, build_ownership
 from repro.runtime.errors import GhostDivergenceError
 from repro.runtime.faults import FaultPlan
 from repro.runtime.tracing import ExecutionTrace
@@ -49,7 +48,14 @@ from repro.stencils.spec import StencilSpec, region_is_empty
 
 @dataclass
 class CommStats:
-    """Tally of the simulated exchanges (and injected faults)."""
+    """Tally of the exchanges (and injected faults) of a distributed run.
+
+    One schema for both execution paths: the in-process simulator
+    (:func:`execute_distributed`) and the elastic multiprocess runtime
+    (:func:`repro.distributed.elastic.execute_elastic`) fill the same
+    counters, so reports and trace events compare like for like —
+    counters a path cannot exercise simply stay zero.
+    """
 
     messages: int = 0
     bytes_sent: int = 0
@@ -62,6 +68,16 @@ class CommStats:
     divergence_checks: int = 0
     #: phases replayed from their checkpoint after a detection
     phase_restarts: int = 0
+    #: receive timeouts observed while waiting for a boundary band
+    timeouts: int = 0
+    #: retransmit requests issued (after a timeout or a bad checksum)
+    retries: int = 0
+    #: CRC failures detected on received payloads
+    checksum_failures: int = 0
+    #: heartbeat messages the coordinator received
+    heartbeats: int = 0
+    #: rank processes respawned after a loss
+    respawns: int = 0
 
     def record(self, stage_idx: int, nbytes: int) -> None:
         self.messages += 1
@@ -69,6 +85,29 @@ class CommStats:
         self.stage_bytes[stage_idx] = (
             self.stage_bytes.get(stage_idx, 0) + nbytes
         )
+
+    def merge_worker(self, other: Dict[str, int]) -> None:
+        """Fold a worker-reported counter dict into this tally."""
+        for key in ("drops", "garbles", "timeouts", "retries",
+                    "checksum_failures"):
+            setattr(self, key, getattr(self, key) + int(other.get(key, 0)))
+
+    def describe_resilience(self) -> str:
+        """One-line report of the failure/recovery counters."""
+        return (
+            f"drops={self.drops} garbles={self.garbles} "
+            f"timeouts={self.timeouts} retries={self.retries} "
+            f"checksum_failures={self.checksum_failures} "
+            f"heartbeats={self.heartbeats} respawns={self.respawns} "
+            f"phase_restarts={self.phase_restarts} "
+            f"divergence_checks={self.divergence_checks}"
+        )
+
+    @property
+    def had_faults(self) -> bool:
+        return bool(self.drops or self.garbles or self.timeouts
+                    or self.retries or self.checksum_failures
+                    or self.respawns or self.phase_restarts)
 
 
 def execute_distributed(
@@ -130,7 +169,6 @@ def execute_distributed(
         check_divergence = True
     part = SlabPartition(grid.shape, ranks, axis=axis)
     slopes = tuple(p.sigma for p in lattice.profiles)
-    plan = build_phase_plan(lattice, slopes)
     b = lattice.b
     ghost_required = part.ghost_width(lattice)
     ghost = ghost_required if ghost_override is None else int(ghost_override)
@@ -141,19 +179,8 @@ def execute_distributed(
     locals_: List[List[np.ndarray]] = [
         [buf.copy() for buf in grid.buffers] for _ in range(ranks)
     ]
-    # block ownership, fixed across phases: a block belongs to the rank
-    # holding the low corner of its clipped bounding box
-    def _owner(blk) -> int:
-        bbox = blk.bounding_box(b, slopes, grid.shape)
-        if region_is_empty(bbox):
-            return 0  # degenerate block; never applies any region
-        return part.owner_of_box(bbox)
-
-    owned = [
-        [[blk for blk in sp.blocks if _owner(blk) == r]
-         for sp in plan.stages]
-        for r in range(ranks)
-    ]
+    # block ownership, fixed across phases (shared definition)
+    plan, owned = build_ownership(lattice, part)
     stats = CommStats()
     interior = spec.interior_slices(grid.shape)
     n_axis = grid.shape[axis]

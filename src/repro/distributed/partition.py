@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.core.profiles import TessLattice
+from repro.stencils.spec import region_is_empty
 
 
 @dataclass(frozen=True)
@@ -70,3 +71,36 @@ class SlabPartition:
             (hi - lo for lo, hi in prof.plateaus()), default=base
         )
         return (2 * (lattice.b - 1) + 1) * prof.sigma + max(base, plateau)
+
+
+def build_ownership(lattice: TessLattice, part: SlabPartition):
+    """Per-rank, per-stage block ownership of the tessellation plan.
+
+    Returns ``(plan, owned)`` where ``plan`` is the
+    :class:`~repro.core.blocks.PhasePlan` and ``owned[r][s]`` lists the
+    blocks of stage ``s`` owned by rank ``r`` — the single definition
+    shared by the simulated executor, the structural sanitizer and the
+    elastic process runtime, so every path agrees on who computes what.
+    A block belongs to the rank holding the low corner of its clipped
+    bounding box; degenerate (empty) blocks fall to rank 0, which never
+    applies their (empty) regions.
+    """
+    from repro.core.blocks import build_phase_plan
+
+    shape = part.shape
+    slopes = tuple(p.sigma for p in lattice.profiles)
+    plan = build_phase_plan(lattice, slopes)
+    b = lattice.b
+
+    def _owner(blk) -> int:
+        bbox = blk.bounding_box(b, slopes, shape)
+        if region_is_empty(bbox):
+            return 0
+        return part.owner_of_box(bbox)
+
+    owned = [
+        [[blk for blk in sp.blocks if _owner(blk) == r]
+         for sp in plan.stages]
+        for r in range(part.ranks)
+    ]
+    return plan, owned

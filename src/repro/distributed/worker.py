@@ -1,0 +1,479 @@
+"""Rank-process main loop of the elastic distributed runtime.
+
+One :func:`worker_main` process per rank.  Per stage it executes the
+blocks it owns (the same block→rank ownership as the simulated
+executor, via :func:`~repro.distributed.partition.build_ownership`),
+pushes its fresh boundary bands to both neighbours (routed through the
+coordinator), then blocks on the neighbours' bands with the
+receiver-driven timeout/retransmit protocol of
+:mod:`~repro.distributed.transport`.  Per *phase* (one ``b``-deep time
+tile) it spills an atomic checkpoint of its buffer pair to the run's
+spill directory and enters the coordinator's commit barrier — phase
+boundaries are global consistency points (every rank's ping-pong pair
+is complete there), so the spill file is everything a restore or a
+respawned successor incarnation needs.
+
+Failure behaviour:
+
+* an injected ``kill_rank`` hit exits the process hard
+  (``os._exit``) — the coordinator notices via the dead process /
+  missed heartbeats and respawns incarnation ``i+1``, which pre-burns
+  its fault plan (:meth:`FaultPlan.preburn_rank_lifecycle`) so a
+  transient kill does not re-fire forever;
+* an injected ``stall_rank`` hit wedges the compute loop; the worker
+  keeps pumping control messages while it sleeps, so a coordinator
+  ``abort`` (triggered by the straggler watchdog or by a neighbour's
+  exchange timeout) can still un-wedge it;
+* a band that never arrives, or keeps failing its CRC, exhausts the
+  retry budget and is reported to the coordinator as a structured
+  ``failure`` message; the worker then parks and waits for the
+  coordinator's verdict (phase abort + restore, or shutdown).
+
+A daemon heartbeat thread shares the channel (thread-safe sends) and
+beacons ``(state, monotone counter, phase)`` so the coordinator can
+tell a dead process (no beacons) from a wedged one (beacons with
+frozen *compute* progress) from one legitimately idling at a barrier.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.profiles import TessLattice
+from repro.distributed.partition import SlabPartition, build_ownership
+from repro.distributed.transport import (
+    ABORT,
+    BAND,
+    COMMIT,
+    COORDINATOR,
+    Channel,
+    ChannelClosed,
+    FAILURE,
+    HEARTBEAT,
+    HELLO,
+    Message,
+    PHASE_DONE,
+    RESEND,
+    RESTORED,
+    RESULT,
+    RESUME,
+    RetryPolicy,
+    SHUTDOWN,
+    corrupt_payload,
+    make_data_message,
+    unpack_payload,
+    verify_message,
+)
+from repro.runtime.faults import FaultPlan
+from repro.stencils.spec import StencilSpec, region_is_empty
+
+#: process exit codes (distinct so the coordinator's logs are readable)
+KILLED_BY_FAULT = 41      #: injected ``kill_rank`` fired
+CHECKPOINT_MISSING = 43   #: restore asked for a spill file that is gone
+ORPHANED = 44             #: coordinator channel closed under us
+
+#: ``Message.key`` used for final-result retransmit requests
+RESULT_KEY = (-1,)
+
+
+@dataclass
+class WorkerConfig:
+    """Everything one rank incarnation needs (fork-inherited)."""
+
+    rank: int
+    ranks: int
+    spec: StencilSpec
+    lattice: TessLattice
+    shape: Tuple[int, ...]
+    steps: int
+    axis: int
+    ghost: int
+    init_buffers: List[np.ndarray]
+    ckpt_dir: str
+    epoch: int = 0
+    incarnation: int = 0
+    restore_phase: int = 0
+    heartbeat_s: float = 0.05
+    retry: RetryPolicy = RetryPolicy()
+    fault_plan: Optional[FaultPlan] = None
+
+
+class _PhaseAborted(Exception):
+    """Coordinator ordered: drop the phase, restore, wait for resume."""
+
+    def __init__(self, epoch: int, restore_phase: int):
+        self.epoch = epoch
+        self.restore_phase = restore_phase
+
+
+class _Shutdown(Exception):
+    """Coordinator ordered: run over, exit cleanly."""
+
+
+class _ExchangeFailed(Exception):
+    """Retry budget exhausted waiting for a neighbour's band."""
+
+    def __init__(self, cause: str, stage: int, src: int, attempts: int):
+        self.cause = cause  # "timeout" | "checksum"
+        self.stage = stage
+        self.src = src
+        self.attempts = attempts
+
+
+class _Worker:
+    def __init__(self, cfg: WorkerConfig, chan: Channel):
+        self.cfg = cfg
+        self.chan = chan
+        self.rank = cfg.rank
+        self.epoch = cfg.epoch
+        self.spec = cfg.spec
+        shape = tuple(cfg.shape)
+        self.shape = shape
+        self.part = SlabPartition(shape, cfg.ranks, axis=cfg.axis)
+        self.bounds = self.part.bounds()
+        self.slopes = tuple(p.sigma for p in cfg.lattice.profiles)
+        self.b = cfg.lattice.b
+        plan, owned = build_ownership(cfg.lattice, self.part)
+        self.n_stages = len(plan.stages)
+        self.owned = owned[self.rank]
+        self.interior = cfg.spec.interior_slices(shape)
+        self.init = [buf.copy() for buf in cfg.init_buffers]
+        self.bufs = [buf.copy() for buf in cfg.init_buffers]
+        self.phases: List[Tuple[int, int]] = [
+            (tt, min(self.b, cfg.steps - tt))
+            for tt in range(0, cfg.steps, self.b)
+        ]
+        self.inbox: Dict[Tuple[int, int], object] = {}
+        self.outbox: Dict[Tuple[int, int], object] = {}
+        self.done_keys: set = set()
+        self.crc_failures: Dict[Tuple[int, int], int] = {}
+        self.stats: Dict[str, int] = dict(drops=0, timeouts=0, retries=0,
+                                          checksum_failures=0)
+        # (state, monotone counter, phase) read by the heartbeat thread
+        self.progress: Tuple[str, int, int] = ("init", 0, cfg.restore_phase)
+        self._beat_stop = threading.Event()
+
+    # -- plumbing ----------------------------------------------------
+
+    def _neighbours(self) -> List[int]:
+        return [r for r in (self.rank - 1, self.rank + 1)
+                if 0 <= r < self.cfg.ranks]
+
+    def _bump(self, state: str, phase: int) -> None:
+        self.progress = (state, self.progress[1] + 1, phase)
+
+    def _send_ctrl(self, kind: str, key: Tuple[int, ...] = (),
+                   payload=None) -> None:
+        self.chan.send(Message(kind=kind, src=self.rank, dst=COORDINATOR,
+                               epoch=self.epoch, key=key, payload=payload))
+
+    def _heartbeat_loop(self) -> None:
+        while not self._beat_stop.wait(self.cfg.heartbeat_s):
+            try:
+                state, counter, phase = self.progress
+                self.chan.send(Message(
+                    kind=HEARTBEAT, src=self.rank, dst=COORDINATOR,
+                    epoch=self.epoch, payload=(state, counter, phase),
+                ))
+            except ChannelClosed:
+                return
+
+    def _pump(self, timeout_s: float) -> Optional[Message]:
+        """Receive and pre-process at most one message.
+
+        Bands are buffered into the inbox, retransmit requests are
+        serviced from the outbox, aborts/shutdowns raise; anything the
+        caller might be waiting on (``commit``/``resume``) is returned.
+        """
+        msg = self.chan.recv(timeout_s)
+        if msg is None:
+            return None
+        if msg.kind == SHUTDOWN:
+            raise _Shutdown()
+        if msg.kind == ABORT:
+            if msg.epoch > self.epoch:
+                raise _PhaseAborted(msg.epoch, int(msg.payload))
+            return None  # stale duplicate
+        if msg.epoch != self.epoch:
+            return None  # message from a killed phase
+        if msg.kind == BAND:
+            key = (msg.key[0], msg.src)
+            if key in self.done_keys:
+                return None  # duplicate delivery after a retransmit
+            if not verify_message(msg):
+                self.stats["checksum_failures"] += 1
+                self.crc_failures[key] = self.crc_failures.get(key, 0) + 1
+                # immediate retransmit requests are bounded by the same
+                # retry budget as timeout-driven ones, so persistent
+                # corruption cannot flood the channel: once the budget
+                # is spent, only the (bounded) timeout path remains and
+                # the exchange fails with cause "checksum"
+                if self.crc_failures[key] <= self.cfg.retry.max_retries:
+                    self.stats["retries"] += 1
+                    self._send_resend(msg.key[0], msg.src)
+                return None
+            self.inbox[key] = unpack_payload(msg.payload)
+            return None
+        if msg.kind == RESEND:
+            self._service_resend(msg)
+            return None
+        return msg
+
+    def _send_resend(self, stage: int, src: int) -> None:
+        self.chan.send(Message(kind=RESEND, src=self.rank, dst=src,
+                               epoch=self.epoch, key=(stage,)))
+
+    def _service_resend(self, msg: Message) -> None:
+        if tuple(msg.key) == RESULT_KEY:
+            self._send_result()
+            return
+        stage = msg.key[0]
+        payload = self.outbox.get((stage, msg.src))
+        if payload is not None:
+            self._send_band(stage, msg.src, payload)
+
+    # -- exchange ----------------------------------------------------
+
+    def _axis_window(self, lo: int, hi: int) -> Tuple[slice, ...]:
+        n_axis = self.shape[self.cfg.axis]
+        window = [slice(None)] * len(self.shape)
+        window[self.cfg.axis] = slice(max(0, lo), min(n_axis, hi))
+        return tuple(window)
+
+    def _band_payload(self, dst: int, dirty: np.ndarray):
+        dlo, dhi = self.bounds[dst]
+        window = self._axis_window(dlo - self.cfg.ghost,
+                                   dhi + self.cfg.ghost)
+        mask = dirty[window].copy()
+        return (mask,
+                self.bufs[0][self.interior][window].copy(),
+                self.bufs[1][self.interior][window].copy())
+
+    def _apply_band(self, payload) -> None:
+        mask, b0, b1 = payload
+        lo, hi = self.bounds[self.rank]
+        window = self._axis_window(lo - self.cfg.ghost,
+                                   hi + self.cfg.ghost)
+        if not mask.any():
+            return
+        np.copyto(self.bufs[0][self.interior][window], b0, where=mask)
+        np.copyto(self.bufs[1][self.interior][window], b1, where=mask)
+
+    def _send_band(self, stage: int, dst: int, payload) -> None:
+        """One band send attempt, subject to transport fault injection."""
+        msg = make_data_message(BAND, self.rank, dst, self.epoch,
+                                (stage,), payload)
+        if self.cfg.fault_plan is not None:
+            f = self.cfg.fault_plan.send_fault(stage, self.rank)
+            if f is not None and f.kind == "drop_msg":
+                self.stats["drops"] += 1
+                return
+            if f is not None and f.kind == "flip_bits":
+                msg = corrupt_payload(msg)
+        self.chan.send(msg)
+
+    def _await_band(self, stage: int, src: int):
+        key = (stage, src)
+        retry = self.cfg.retry
+        for attempt in range(retry.attempts):
+            deadline = time.monotonic() + retry.attempt_timeout(attempt)
+            while True:
+                if key in self.inbox:
+                    self.done_keys.add(key)
+                    self.crc_failures.pop(key, None)
+                    return self.inbox.pop(key)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._pump(min(remaining, 0.05))
+            self.stats["timeouts"] += 1
+            if attempt + 1 < retry.attempts:
+                self.stats["retries"] += 1
+                self._send_resend(stage, src)
+        cause = "checksum" if self.crc_failures.get(key) else "timeout"
+        raise _ExchangeFailed(cause, stage, src, retry.attempts)
+
+    # -- checkpoints -------------------------------------------------
+
+    def _ckpt_path(self, phase: int) -> str:
+        return os.path.join(self.cfg.ckpt_dir,
+                            f"rank{self.rank}_phase{phase}.npz")
+
+    def _write_ckpt(self, phase: int) -> None:
+        path = self._ckpt_path(phase)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            np.savez(f, b0=self.bufs[0], b1=self.bufs[1],
+                     phase=np.int64(phase))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(tmp, path)  # atomic: a crash mid-write cannot corrupt
+
+    def _prune_ckpt(self, phase: int) -> None:
+        try:
+            os.remove(self._ckpt_path(phase))
+        except FileNotFoundError:
+            pass
+
+    def _restore(self, phase: int) -> None:
+        if phase == 0:
+            self.bufs = [buf.copy() for buf in self.init]
+            return
+        path = self._ckpt_path(phase)
+        if not os.path.exists(path):
+            os._exit(CHECKPOINT_MISSING)
+        with np.load(path) as data:
+            assert int(data["phase"]) == phase
+            self.bufs = [data["b0"].copy(), data["b1"].copy()]
+
+    # -- the run -----------------------------------------------------
+
+    def _run_phase(self, p: int) -> None:
+        tt, span = self.phases[p]
+        plan_faults = self.cfg.fault_plan
+        for si in range(self.n_stages):
+            stage = p * self.n_stages + si
+            self._bump("compute", p)
+            if plan_faults is not None:
+                if plan_faults.kill_fault(stage, self.rank) is not None:
+                    os._exit(KILLED_BY_FAULT)
+                f = plan_faults.stall_rank_fault(stage, self.rank)
+                if f is not None:
+                    # wedge with frozen *compute* progress, but keep
+                    # pumping so an abort can still un-wedge us
+                    end = time.monotonic() + f.stall_s
+                    while time.monotonic() < end:
+                        self._pump(min(0.05, end - time.monotonic()))
+            dirty = np.zeros(self.shape, dtype=bool)
+            for blk in self.owned[si]:
+                for s in range(span):
+                    region = blk.region_at(s, self.b, self.slopes,
+                                           self.shape)
+                    if region_is_empty(region):
+                        continue
+                    self.spec.apply_region(
+                        self.bufs[(tt + s) % 2],
+                        self.bufs[(tt + s + 1) % 2],
+                        region,
+                    )
+                    idx = tuple(slice(lo, hi) for lo, hi in region)
+                    dirty[idx] = True
+            self._bump("exchange", p)
+            for dst in self._neighbours():
+                payload = self._band_payload(dst, dirty)
+                self.outbox[(stage, dst)] = payload
+                self._send_band(stage, dst, payload)
+            for src in self._neighbours():
+                self._apply_band(self._await_band(stage, src))
+
+    def _await_commit(self, p: int) -> None:
+        while True:
+            msg = self._pump(0.25)
+            if (msg is not None and msg.kind == COMMIT
+                    and tuple(msg.key) == (p,)):
+                return
+
+    def _await_resume(self) -> None:
+        while True:
+            msg = self._pump(0.25)
+            if msg is not None and msg.kind == RESUME:
+                return
+
+    def _send_result(self) -> None:
+        lo, hi = self.bounds[self.rank]
+        sl = [slice(None)] * len(self.shape)
+        sl[self.cfg.axis] = slice(lo, hi)
+        slab = self.bufs[self.cfg.steps % 2][self.interior][tuple(sl)].copy()
+        self.chan.send(make_data_message(
+            RESULT, self.rank, COORDINATOR, self.epoch, RESULT_KEY,
+            (slab, dict(self.stats)),
+        ))
+
+    def _handle_abort(self, ab: _PhaseAborted) -> int:
+        """Restore, report, and wait out the resume barrier.
+
+        Loops because a *new* abort can land while we wait for resume
+        (a second rank failing mid-recovery bumps the epoch again).
+        Returns the phase index execution resumes from.
+        """
+        while True:
+            self.epoch = ab.epoch
+            p = ab.restore_phase
+            self._restore(p)
+            self.inbox.clear()
+            self.outbox.clear()
+            self.done_keys.clear()
+            self.crc_failures.clear()
+            self._bump("restored", p)
+            self._send_ctrl(RESTORED)
+            try:
+                self._await_resume()
+                return p
+            except _PhaseAborted as again:
+                ab = again
+
+    def run(self) -> None:
+        if self.cfg.fault_plan is not None and self.cfg.incarnation > 0:
+            self.cfg.fault_plan.preburn_rank_lifecycle(
+                self.rank, self.cfg.incarnation)
+        beat = threading.Thread(target=self._heartbeat_loop, daemon=True)
+        beat.start()
+        p = self.cfg.restore_phase
+        if p > 0:
+            self._restore(p)
+        try:
+            self._send_ctrl(HELLO, payload=self.cfg.incarnation)
+            try:
+                self._await_resume()
+            except _PhaseAborted as ab:
+                p = self._handle_abort(ab)
+            while True:
+                try:
+                    while p < len(self.phases):
+                        self._run_phase(p)
+                        self._write_ckpt(p + 1)
+                        self._bump("barrier", p)
+                        self._send_ctrl(PHASE_DONE, key=(p,),
+                                        payload=dict(self.stats))
+                        self.stats = dict(drops=0, timeouts=0, retries=0,
+                                          checksum_failures=0)
+                        self._await_commit(p)
+                        self._prune_ckpt(p)
+                        p += 1
+                    self._bump("done", p)
+                    self._send_result()
+                    while True:  # park: serve result retransmits
+                        self._pump(0.25)
+                except _PhaseAborted as ab:
+                    p = self._handle_abort(ab)
+                except _ExchangeFailed as exc:
+                    self._send_ctrl(FAILURE, key=(exc.stage, exc.src),
+                                    payload=(exc.cause, exc.attempts,
+                                             dict(self.stats)))
+                    self.stats = dict(drops=0, timeouts=0, retries=0,
+                                      checksum_failures=0)
+                    self._bump("failed", p)
+                    try:
+                        while True:  # park until the coordinator decides
+                            self._pump(0.25)
+                    except _PhaseAborted as ab:
+                        p = self._handle_abort(ab)
+        except _Shutdown:
+            pass
+        finally:
+            self._beat_stop.set()
+
+
+def worker_main(cfg: WorkerConfig, conn) -> None:
+    """Process entry point for one rank incarnation."""
+    chan = Channel(conn)
+    try:
+        _Worker(cfg, chan).run()
+    except ChannelClosed:
+        os._exit(ORPHANED)

@@ -43,12 +43,16 @@ from repro.runtime.taskgraph import TaskGraph, TaskNode, build_taskgraph
 from repro.runtime.threadpool import execute_threaded
 from repro.runtime.levelize import levelize
 from repro.runtime.errors import (
+    ChecksumMismatchError,
     DeadlineExceeded,
+    ExchangeTimeoutError,
     ExecutionError,
     GhostDivergenceError,
     GuardViolation,
     InjectedFault,
+    RankLostError,
     SanitizerViolation,
+    StallTimeoutError,
 )
 from repro.runtime.faults import FaultPlan, FaultSpec
 from repro.runtime.resilience import (
@@ -83,11 +87,15 @@ __all__ = [
     "build_taskgraph",
     "execute_threaded",
     "levelize",
+    "ChecksumMismatchError",
     "DeadlineExceeded",
+    "ExchangeTimeoutError",
     "ExecutionError",
     "GhostDivergenceError",
     "GuardViolation",
     "InjectedFault",
+    "RankLostError",
+    "StallTimeoutError",
     "FaultPlan",
     "FaultSpec",
     "Checkpoint",

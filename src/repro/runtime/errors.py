@@ -20,12 +20,23 @@ tracebacks:
 * :class:`SanitizerViolation` — the structural schedule sanitizer
   (:mod:`repro.runtime.sanitizer`) found a tessellation gap, double
   write, dependence violation, intra-group race or ghost-band breach
-  *before* execution; carries the full violation list.
+  *before* execution; carries the full violation list;
+* :class:`StallTimeoutError` — the resilient executor's *wall-clock*
+  deadline expired (a stalled worker would otherwise hang the run
+  forever; the per-task soft deadline cannot see a sleep that never
+  returns);
+* :class:`RankLostError` / :class:`ExchangeTimeoutError` /
+  :class:`ChecksumMismatchError` — the elastic process runtime's
+  terminal verdicts (:mod:`repro.distributed.elastic`): a rank process
+  died (or was killed as a straggler) and the respawn budget is spent,
+  a boundary-band message never arrived within its retry budget, or a
+  payload kept failing its CRC across retransmits.
 
 Exit-code mapping used by ``python -m repro`` (see
 :func:`repro.cli.main`): usage/:class:`ValueError` → 2,
 :class:`ExecutionError` → 3, :class:`GuardViolation` → 4,
-:class:`SanitizerViolation` → 5.
+:class:`SanitizerViolation` → 5, :class:`RankLostError` → 6,
+:class:`ExchangeTimeoutError` → 7, :class:`ChecksumMismatchError` → 8.
 """
 
 from __future__ import annotations
@@ -39,6 +50,9 @@ EXIT_USAGE = 2
 EXIT_EXECUTION = 3
 EXIT_GUARD = 4
 EXIT_SANITIZER = 5
+EXIT_RANK_LOST = 6
+EXIT_EXCHANGE_TIMEOUT = 7
+EXIT_CHECKSUM = 8
 
 
 class InjectedFault(RuntimeError):
@@ -127,6 +141,100 @@ class SanitizerViolation(GuardViolation):
             scheme=scheme,
             group=getattr(first, "group", None),
             task_label=getattr(first, "task", None),
+        )
+
+
+class StallTimeoutError(ExecutionError):
+    """The resilient executor's wall-clock deadline expired.
+
+    A ``stall`` fault (or any genuinely wedged worker) can sleep past
+    every per-task soft deadline; the wall-clock deadline bounds the
+    *whole* execution so the suite/CI gets a structured error instead
+    of a hang.  Not retryable: the budget is global, so the run is
+    aborted on the spot rather than replayed.
+    """
+
+    def __init__(self, label: str, elapsed_s: float, deadline_s: float,
+                 *, group: Optional[int] = None):
+        self.label = label
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        ExecutionError.__init__(
+            self,
+            f"wall-clock deadline exceeded at {label!r}: "
+            f"{elapsed_s:.3f}s elapsed > {deadline_s:.3f}s budget",
+            group=group,
+        )
+
+
+class RankLostError(ExecutionError):
+    """A rank process died (or was culled as a straggler) for good.
+
+    Raised by the elastic coordinator once a lost rank cannot be (or
+    may no longer be) respawned: the run is not resilient, or the
+    respawn budget is exhausted.  ``cause`` distinguishes a dead
+    process (``"dead"``), a missed heartbeat (``"heartbeat"``) and a
+    progress stall (``"straggler"``).
+    """
+
+    def __init__(self, rank: int, cause: str, *, respawns: int = 0,
+                 detail: str = ""):
+        self.rank = rank
+        self.cause = cause
+        self.respawns = respawns
+        extra = f": {detail}" if detail else ""
+        ExecutionError.__init__(
+            self,
+            f"rank {rank} lost ({cause}) after {respawns} respawn(s){extra}",
+            task_label=f"rank {rank}",
+            attempts=respawns + 1,
+        )
+
+
+class ExchangeTimeoutError(ExecutionError):
+    """A boundary-band message never arrived within the retry budget.
+
+    Raised (via the coordinator) when a receiving rank has exhausted
+    its per-message timeout + exponential-backoff retries waiting for a
+    neighbour's band.  A transient drop is healed by a retransmit
+    request; this error means the drop was persistent.
+    """
+
+    def __init__(self, stage: int, src: int, dst: int, attempts: int):
+        self.stage = stage
+        self.src = src
+        self.dst = dst
+        ExecutionError.__init__(
+            self,
+            f"boundary band {src}->{dst} missing at stage {stage} "
+            f"after {attempts} attempt(s)",
+            group=stage,
+            task_label=f"rank {dst}",
+            attempts=attempts,
+        )
+
+
+class ChecksumMismatchError(ExecutionError):
+    """A boundary-band payload kept failing its CRC across retries.
+
+    Every band carries a CRC32 of its serialized payload; a mismatch at
+    receive time means the message was corrupted in flight (the
+    ``flip_bits`` fault, or real memory/link corruption).  Transient
+    corruption is healed by a retransmit; this error means every
+    retransmit was corrupted too.
+    """
+
+    def __init__(self, stage: int, src: int, dst: int, attempts: int):
+        self.stage = stage
+        self.src = src
+        self.dst = dst
+        ExecutionError.__init__(
+            self,
+            f"boundary band {src}->{dst} failed checksum at stage {stage} "
+            f"{attempts} time(s)",
+            group=stage,
+            task_label=f"rank {dst}",
+            attempts=attempts,
         )
 
 

@@ -47,6 +47,7 @@ from repro.runtime.errors import (
     ExecutionError,
     GuardViolation,
     InjectedFault,
+    StallTimeoutError,
 )
 from repro.runtime.faults import FaultPlan, poison_task_output
 from repro.runtime.schedule import RegionSchedule, ScheduledTask
@@ -74,10 +75,31 @@ class ResiliencePolicy:
     guard_nonfinite: bool = True
     #: soft per-task deadline; overruns count as task failures (None = off)
     task_deadline_s: Optional[float] = None
+    #: hard wall-clock budget for the whole execution; once spent, a
+    #: stalled worker raises :class:`StallTimeoutError` (not retried,
+    #: not replayed) instead of hanging the run forever (None = off)
+    wall_deadline_s: Optional[float] = None
     #: run the structural sanitizer (tessellation / dependence / race
     #: analysis, :mod:`repro.runtime.sanitizer`) as a pre-flight and
     #: refuse to execute a schedule with violations
     sanitize: bool = False
+
+
+@dataclass
+class _WallClock:
+    """Absolute wall-clock budget shared by every task of one run."""
+
+    start: float
+    budget_s: float
+
+    def elapsed(self, now: Optional[float] = None) -> float:
+        return (time.perf_counter() if now is None else now) - self.start
+
+    def remaining(self, now: Optional[float] = None) -> float:
+        return self.budget_s - self.elapsed(now)
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        return self.remaining(now) <= 0
 
 
 @dataclass
@@ -127,13 +149,31 @@ def _run_task_with_faults(
     index: int,
     fault_plan: Optional[FaultPlan],
     deadline_s: Optional[float],
+    wall: Optional["_WallClock"] = None,
 ) -> None:
     """One task attempt: stall/crash probes, actions, corrupt probe."""
     t0 = time.perf_counter()
     if fault_plan is not None:
         f = fault_plan.stall_fault(group, index)
         if f is not None:
-            time.sleep(f.stall_s)
+            # sleep in slices so a stall that outlives the wall-clock
+            # budget surfaces as a structured error, not a hung suite
+            end = time.perf_counter() + f.stall_s
+            while True:
+                now = time.perf_counter()
+                if wall is not None and wall.expired(now):
+                    raise StallTimeoutError(
+                        task.label or f"g{group}t{index}",
+                        elapsed_s=wall.elapsed(now),
+                        deadline_s=wall.budget_s,
+                        group=group,
+                    )
+                if now >= end:
+                    break
+                step = min(0.02, end - now)
+                if wall is not None:
+                    step = min(step, max(wall.remaining(now), 0.001))
+                time.sleep(step)
         fault_plan.raise_if_crash(group, index)
     for a in task.actions:
         spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
@@ -186,6 +226,7 @@ def _attempt_task(
     fault_plan: Optional[FaultPlan],
     report: ResilienceReport,
     trace: Optional[ExecutionTrace],
+    wall: Optional[_WallClock] = None,
 ) -> None:
     """Run one task with the per-task retry/backoff loop."""
     attempts = 1 + max(0, policy.max_task_retries)
@@ -193,8 +234,11 @@ def _attempt_task(
     for attempt in range(attempts):
         try:
             _run_task_with_faults(spec, grid, task, group, index,
-                                  fault_plan, policy.task_deadline_s)
+                                  fault_plan, policy.task_deadline_s, wall)
             return
+        except StallTimeoutError:
+            # the budget is global: retrying cannot recover spent time
+            raise
         except Exception as exc:
             if isinstance(exc, InjectedFault):
                 report.faults_seen += 1
@@ -320,6 +364,8 @@ def execute_resilient(
     groups = schedule.groups()
     gids = sorted(groups)
     report = ResilienceReport(scheme=schedule.scheme)
+    wall = (_WallClock(time.perf_counter(), policy.wall_deadline_s)
+            if policy.wall_deadline_s is not None else None)
     ckpt = _take_checkpoint(grid, 0, report, trace,
                             gids[0] if gids else 0)
     failures: dict = {}  # group index -> failures so far
@@ -329,6 +375,11 @@ def execute_resilient(
         since_ckpt = 0
         while i < len(gids):
             gid = gids[i]
+            if wall is not None and wall.expired():
+                raise StallTimeoutError(
+                    f"group {gid}", elapsed_s=wall.elapsed(),
+                    deadline_s=wall.budget_s, group=gid,
+                )
             n_failures = failures.get(i, 0)
             sequential = (
                 pool is None
@@ -340,11 +391,11 @@ def execute_resilient(
                 if sequential or len(tasks) == 1:
                     for ti, task in enumerate(tasks):
                         _attempt_task(spec, grid, task, gid, ti, policy,
-                                      fault_plan, report, trace)
+                                      fault_plan, report, trace, wall)
                 else:
                     futures = [
                         pool.submit(_attempt_task, spec, grid, task, gid, ti,
-                                    policy, fault_plan, report, trace)
+                                    policy, fault_plan, report, trace, wall)
                         for ti, task in enumerate(tasks)
                     ]
                     done, pending = wait(futures,
@@ -363,6 +414,8 @@ def execute_resilient(
                         raise first_exc
                 if policy.guard_nonfinite:
                     _guard_nonfinite(spec, grid, gid, report, trace)
+            except StallTimeoutError:
+                raise  # wall-clock budget spent: replaying cannot help
             except Exception as exc:
                 failures[i] = n_failures + 1
                 if failures[i] > policy.max_group_restarts:

@@ -686,25 +686,19 @@ def sanitize_distributed_plan(
     therefore reported *before* execution, naming the rank, stage and
     block, instead of surfacing as numeric divergence mid-run.
     """
-    from repro.core.blocks import build_phase_plan
-    from repro.distributed.partition import SlabPartition
+    from repro.distributed.partition import SlabPartition, build_ownership
 
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
     shape = lattice.shape
     part = SlabPartition(shape, ranks, axis=axis)
     slopes = tuple(p.sigma for p in lattice.profiles)
-    plan = build_phase_plan(lattice, slopes)
     b = lattice.b
     ghost_required = part.ghost_width(lattice)
     ghost = ghost_required if ghost is None else int(ghost)
     bounds = part.bounds()
-
-    def _owner(blk) -> int:
-        bbox = blk.bounding_box(b, slopes, shape)
-        if region_is_empty(bbox):
-            return 0
-        return part.owner_of_box(bbox)
+    # the one block→rank ownership definition every path shares
+    plan, owned = build_ownership(lattice, part)
 
     from repro.runtime.schedule import RegionAction
 
@@ -714,20 +708,21 @@ def sanitize_distributed_plan(
     tt = 0
     while tt < steps:
         span = min(b, steps - tt)
-        for sp in plan.stages:
+        for si, sp in enumerate(plan.stages):
             emitted = False
-            for blk in sp.blocks:
-                r = _owner(blk)
-                actions = []
-                for s in range(span):
-                    region = blk.region_at(s, b, slopes, shape)
-                    if not region_is_empty(region):
-                        actions.append(RegionAction(t=tt + s, region=region))
-                if actions:
-                    sched.add(group, actions,
-                              label=f"rank{r}:t{tt}:stage{sp.stage}")
-                    rank_of_task.append(r)
-                    emitted = True
+            for r in range(ranks):
+                for blk in owned[r][si]:
+                    actions = []
+                    for s in range(span):
+                        region = blk.region_at(s, b, slopes, shape)
+                        if not region_is_empty(region):
+                            actions.append(RegionAction(t=tt + s,
+                                                        region=region))
+                    if actions:
+                        sched.add(group, actions,
+                                  label=f"rank{r}:t{tt}:stage{sp.stage}")
+                        rank_of_task.append(r)
+                        emitted = True
             if emitted:
                 group += 1
         tt += b

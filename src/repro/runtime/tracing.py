@@ -32,12 +32,18 @@ class TaskTrace:
 class RuntimeEvent:
     """One resilience-layer event (retry, checkpoint, restore, guard…).
 
-    Recorded by :func:`repro.runtime.resilience.execute_resilient` and
-    the distributed simulator so traces expose where fault-tolerance
-    overhead sits, next to the per-task compute timings.
+    Recorded by :func:`repro.runtime.resilience.execute_resilient`,
+    the distributed simulator and the elastic process coordinator
+    (:mod:`repro.distributed.elastic`) so traces expose where
+    fault-tolerance overhead sits, next to the per-task compute
+    timings.  The elastic coordinator adds: ``heartbeat`` (per-rank
+    beacon summary), ``retry`` (worker-reported retransmits),
+    ``respawn``, ``commit``, ``failure`` (a worker gave up on an
+    exchange), ``watchdog`` (liveness verdicts) — and reuses
+    ``restore`` for phase abort + checkpoint restore.
     """
 
-    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault" | "sanitize" | "violation"
+    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault" | "sanitize" | "violation" | "heartbeat" | "respawn" | "commit" | "failure" | "watchdog"
     group: int
     label: str = ""
     seconds: float = 0.0

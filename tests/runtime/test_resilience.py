@@ -223,6 +223,47 @@ class TestFailurePaths:
                               fault_plan=plan)
         assert ei.value.group == 1
 
+    def test_wall_deadline_turns_stall_into_structured_error(self,
+                                                             schedules):
+        """A wedged worker cannot hang the run past the wall budget.
+
+        The stall here sleeps far longer than the whole-run deadline;
+        without the wall clock the run would block for the full
+        ``stall_s`` (and forever, for a real wedge).  With it, the
+        sleeping task is interrupted and a typed
+        :class:`StallTimeoutError` names the stalled task — not
+        retried, not replayed (the budget is global).
+        """
+        import time as _time
+
+        from repro.runtime import StallTimeoutError
+
+        sched = schedules["tess"]
+        plan = FaultPlan([FaultSpec("stall", group=2, task=0,
+                                    stall_s=30.0)])
+        policy = ResiliencePolicy(wall_deadline_s=0.25)
+        g = Grid(SPEC, SHAPE, seed=0)
+        t0 = _time.perf_counter()
+        with pytest.raises(StallTimeoutError) as ei:
+            execute_resilient(SPEC, g, sched, policy=policy,
+                              fault_plan=plan)
+        elapsed = _time.perf_counter() - t0
+        assert elapsed < 10.0, "stall was served instead of interrupted"
+        assert ei.value.group == 2
+        assert ei.value.deadline_s == pytest.approx(0.25)
+        assert ei.value.elapsed_s >= 0.25
+        # StallTimeoutError is an ExecutionError: the CLI maps it to
+        # the structured exit code 3 rather than a hang or traceback
+        assert isinstance(ei.value, ExecutionError)
+
+    def test_wall_deadline_not_tripped_by_healthy_run(self, schedules,
+                                                      references):
+        policy = ResiliencePolicy(wall_deadline_s=120.0)
+        g = Grid(SPEC, SHAPE, seed=0)
+        out, _ = execute_resilient(SPEC, g, schedules["tess"],
+                                   policy=policy)
+        assert np.array_equal(references["tess"], out)
+
     def test_structural_preflight(self):
         sched = RegionSchedule(scheme="bad", shape=SHAPE, steps=2)
         sched.add(0, [RegionAction(t=5, region=((0, 4), (0, 4)))])

@@ -21,6 +21,7 @@ from repro import Grid, get_stencil, make_lattice
 from repro.cli import SCHEMES, _build_schedule
 from repro.core.profiles import AxisProfile, TessLattice
 from repro.core.schedules import tess_schedule
+from repro.distributed.partition import SlabPartition
 from repro.runtime import (
     RegionAction,
     RegionSchedule,
@@ -317,6 +318,54 @@ class TestDistributedGhostBand:
         v = report.violations[0]
         assert "rank" in v.detail and "required ghost width" in v.detail
         assert v.task and v.step is not None and v.group is not None
+
+    @pytest.mark.parametrize("n", [37, 101])
+    def test_stretched_lattice_plan_is_clean(self, n):
+        """§3.6 stretched blocks: clean at the lattice-derived width."""
+        spec = get_stencil("heat1d")
+        prof = AxisProfile.stretched(n, b=4, sigma=spec.slopes[0])
+        lat = TessLattice((prof,))
+        report = sanitize_distributed_plan(spec, lat, 12, 3)
+        assert report.ok, report.describe()
+        assert report.actions_checked > 0
+
+    @pytest.mark.parametrize("n", [37, 101])
+    def test_stretched_lattice_undersized_ghost_reports_width(self, n):
+        """The violation must *name* the required band width: stretched
+        plateaus widen it beyond the uniform-lattice value, so a caller
+        fixing the band needs the number, not just a failure."""
+        spec = get_stencil("heat1d")
+        prof = AxisProfile.stretched(n, b=4, sigma=spec.slopes[0])
+        lat = TessLattice((prof,))
+        required = SlabPartition((n,), 3).ghost_width(lat)
+        report = sanitize_distributed_plan(spec, lat, 12, 3, ghost=1)
+        assert not report.ok
+        assert set(report.kinds()) == {"ghost-band"}
+        assert f"required ghost width is {required}" \
+            in report.violations[0].detail
+
+    def test_periodic_grid_lattice_plan_is_clean(self):
+        """A lattice with an explicit (non-default) period still yields
+        a clean distributed plan at its required width."""
+        spec = get_stencil("heat2d")
+        b, w = 3, 4
+        period = 2 * w + 2 * (b - 1)
+        lat = make_lattice(spec, (48, 48), b, core_widths=(w, w),
+                           periods=(period, period))
+        report = sanitize_distributed_plan(spec, lat, 9, 3)
+        assert report.ok, report.describe()
+
+    def test_periodic_grid_lattice_undersized_ghost_detected(self):
+        spec = get_stencil("heat2d")
+        b, w = 3, 4
+        period = 2 * w + 2 * (b - 1)
+        lat = make_lattice(spec, (48, 48), b, core_widths=(w, w),
+                           periods=(period, period))
+        required = SlabPartition((48, 48), 3).ghost_width(lat)
+        report = sanitize_distributed_plan(spec, lat, 9, 3, ghost=1)
+        assert not report.ok
+        assert f"required ghost width is {required}" \
+            in report.violations[0].detail
 
     def test_execute_distributed_preflight(self):
         from repro.distributed import execute_distributed
