@@ -11,9 +11,14 @@ against the simulated machine:
 * :func:`~repro.autotune.search.tune_tessellation` — guided search
   (coordinate descent over ``b`` and per-axis core widths) returning
   the best lattice found.
+
+Both accept ``objective="wallclock"`` to score candidates by measured
+compiled-plan execution (via :mod:`repro.engine`) instead of the
+machine model; repeated probes of one configuration hit the plan cache.
 """
 
 from repro.autotune.search import (
+    MeasuredResult,
     TuneResult,
     candidate_depths,
     grid_search,
@@ -21,6 +26,7 @@ from repro.autotune.search import (
 )
 
 __all__ = [
+    "MeasuredResult",
     "TuneResult",
     "candidate_depths",
     "grid_search",

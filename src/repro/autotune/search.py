@@ -1,15 +1,25 @@
-"""Tile-size search against the simulated machine.
+"""Tile-size search: simulated-machine or measured-wallclock objective.
 
-The objective is simulated execution time of the tessellation schedule
-on a given machine/core count; the search never executes the stencil,
-so it is cheap enough to sweep dozens of configurations (schedule
-generation cost is proportional to the task count).
+Two objectives share one search:
+
+* ``objective="simulate"`` (default, historical behaviour) scores a
+  configuration by simulated execution time on a given machine/core
+  count — the search never executes the stencil, so it is cheap enough
+  to sweep dozens of configurations;
+* ``objective="wallclock"`` really runs each candidate schedule through
+  the compiled engine and scores it by measured min-of-``repeat``
+  seconds.  Probes fetch their plan from the engine's
+  :class:`~repro.engine.cache.PlanCache` keyed by the tile parameters,
+  so re-probing a configuration (grid-search/coordinate-descent
+  revisits, repeat sweeps) re-times the *same* compiled plan instead of
+  recompiling — the second probe of identical params is a cache hit,
+  observable on ``cache.stats``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.executor import make_lattice
 from repro.core.schedules import tess_schedule
@@ -19,22 +29,41 @@ from repro.stencils.spec import StencilSpec
 
 
 @dataclass(frozen=True)
+class MeasuredResult:
+    """Wall-clock analogue of :class:`SimResult` for measured probes."""
+
+    time_s: float
+    points: int
+
+    @property
+    def gstencils(self) -> float:
+        if self.time_s <= 0:
+            return 0.0
+        return self.points / self.time_s / 1e9
+
+
+@dataclass(frozen=True)
 class TuneResult:
     """One evaluated configuration."""
 
     b: int
     core_widths: Tuple[int, ...]
-    result: SimResult
+    result: Union[SimResult, MeasuredResult]
 
     @property
     def time_s(self) -> float:
         return self.result.time_s
 
+    @property
+    def measured(self) -> bool:
+        return isinstance(self.result, MeasuredResult)
+
     def describe(self) -> str:
+        kind = "measured" if self.measured else "simulated"
         return (
             f"b={self.b} core_widths={self.core_widths}: "
             f"{self.result.gstencils:.3f} GStencil/s "
-            f"({self.result.time_s * 1e3:.2f} ms simulated)"
+            f"({self.result.time_s * 1e3:.2f} ms {kind})"
         )
 
 
@@ -55,7 +84,9 @@ def candidate_depths(shape: Sequence[int], steps: int,
 
 def _evaluate(spec: StencilSpec, shape: Sequence[int], steps: int,
               machine: MachineSpec, cores: int, b: int,
-              core_widths: Sequence[int], merged: bool) -> Optional[TuneResult]:
+              core_widths: Sequence[int], merged: bool,
+              objective: str = "simulate", cache=None,
+              repeat: int = 3) -> Optional[TuneResult]:
     try:
         lattice = make_lattice(spec, shape, b, core_widths=core_widths)
         sched = tess_schedule(spec, tuple(int(n) for n in shape), lattice,
@@ -64,7 +95,22 @@ def _evaluate(spec: StencilSpec, shape: Sequence[int], steps: int,
         return None
     if not sched.tasks:
         return None
-    res = simulate(spec, sched, machine, cores)
+    if objective == "wallclock":
+        from repro.engine.cache import default_cache
+        from repro.perf.wallclock import time_plan
+
+        if cache is None:
+            cache = default_cache()
+        plan = cache.get(spec, sched,
+                         params=(b, tuple(int(w) for w in core_widths),
+                                 bool(merged)))
+        secs, _ = time_plan(plan, repeat=repeat, warmup=1)
+        res: Union[SimResult, MeasuredResult] = MeasuredResult(
+            time_s=secs, points=sched.total_points())
+    elif objective == "simulate":
+        res = simulate(spec, sched, machine, cores)
+    else:
+        raise ValueError(f"unknown objective {objective!r}")
     return TuneResult(b=b, core_widths=tuple(core_widths), result=res)
 
 
@@ -77,12 +123,18 @@ def grid_search(
     depths: Optional[Iterable[int]] = None,
     width_factors: Iterable[int] = (1, 2, 4),
     merged: bool = True,
+    objective: str = "simulate",
+    cache=None,
+    repeat: int = 3,
 ) -> List[TuneResult]:
     """Sweep ``b`` × isotropic core-width factors; sorted best-first.
 
     ``width_factors`` multiply the per-axis slope to form core widths
     (the paper sets "other parameters to the half or double of the
     blocking size" — the same neighbourhood this sweep covers).
+    ``objective="wallclock"`` times compiled plans instead of
+    simulating (see module docstring); ``cache``/``repeat`` configure
+    that path.
     """
     if depths is None:
         depths = candidate_depths(shape, steps, spec.slopes)
@@ -91,7 +143,8 @@ def grid_search(
         for f in width_factors:
             widths = [max(sg, f * sg * b // 2) for sg in spec.slopes]
             r = _evaluate(spec, shape, steps, machine, cores, b, widths,
-                          merged)
+                          merged, objective=objective, cache=cache,
+                          repeat=repeat)
             if r is not None:
                 results.append(r)
     results.sort(key=lambda r: r.time_s)
@@ -106,15 +159,21 @@ def tune_tessellation(
     cores: int,
     merged: bool = True,
     rounds: int = 2,
+    objective: str = "simulate",
+    cache=None,
+    repeat: int = 3,
 ) -> TuneResult:
     """Coordinate descent: best ``b`` first, then per-axis widths.
 
     Starts from the best isotropic grid-search point and repeatedly
     tries halving/doubling each axis width independently (anisotropic
     coarsening is the point of §4.2 — e.g. the paper's 128×256×64
-    Heat-2D blocking).
+    Heat-2D blocking).  With ``objective="wallclock"`` every probe
+    scores by measured compiled-plan time; configurations revisited
+    across rounds hit the plan cache instead of recompiling.
     """
-    coarse = grid_search(spec, shape, steps, machine, cores, merged=merged)
+    coarse = grid_search(spec, shape, steps, machine, cores, merged=merged,
+                         objective=objective, cache=cache, repeat=repeat)
     if not coarse:
         raise ValueError("no feasible tessellation configuration found")
     best = coarse[0]
@@ -129,7 +188,9 @@ def tune_tessellation(
                     continue
                 widths[axis] = w
                 cand = _evaluate(spec, shape, steps, machine, cores,
-                                 best.b, widths, merged)
+                                 best.b, widths, merged,
+                                 objective=objective, cache=cache,
+                                 repeat=repeat)
                 if cand is not None and cand.time_s < best.time_s:
                     best = cand
                     improved = True

@@ -4,6 +4,8 @@ Commands
 --------
 * ``run``    — execute a kernel with a chosen tiling scheme, verify
   against the naive sweep and report wall-clock + schedule stats;
+  ``--engine compiled`` runs the cached compiled plan
+  (:mod:`repro.engine`) instead of the naive schedule walker;
 * ``show``   — render the space-time diagram of a 1D schedule
   (the paper's Figure 1, in ASCII);
 * ``tune``   — auto-tune tessellation tile sizes on the simulated
@@ -80,6 +82,12 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="time-tile depth b")
     run.add_argument("--threads", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--engine", default="naive",
+                     choices=["naive", "compiled"],
+                     help="execution engine: 'naive' walks the schedule "
+                     "action by action; 'compiled' lowers it to a cached "
+                     "CompiledPlan (precomputed slices, fused/batched "
+                     "kernels — see docs/performance.md)")
     _add_resilience_args(run)
     _add_sanitizer_args(run)
     run.add_argument("--checkpoint-every", type=int, default=1,
@@ -102,6 +110,13 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--shape", type=int, nargs="+", default=None)
     tune.add_argument("--steps", type=int, default=32)
     tune.add_argument("--cores", type=int, default=24)
+    tune.add_argument("--objective", default="simulate",
+                      choices=["simulate", "wallclock"],
+                      help="'simulate' scores on the machine model; "
+                      "'wallclock' times each candidate's compiled plan "
+                      "(probes share the plan cache)")
+    tune.add_argument("--repeat", type=int, default=3,
+                      help="min-of-k repeats per wallclock probe")
 
     dist = sub.add_parser("dist", help="distributed run + cluster estimate")
     dist.add_argument("kernel")
@@ -289,6 +304,17 @@ def cmd_run(args) -> int:
         report = sanitize_schedule(spec, sched)
         print(f"sanitizer: {report.describe()}")
         report.raise_if_violations()
+    compiled = None
+    if args.engine == "compiled":
+        from repro.engine.cache import default_cache
+
+        cache = default_cache()
+        # mutated schedules get their own cache identity — the base
+        # key is (spec, shape, steps, scheme, params) and a mutation
+        # changes the schedule without changing any of those
+        compiled = cache.get(spec, sched,
+                             params=(args.depth, *args.mutate))
+        print(f"engine: compiled — {compiled.stats.describe()}")
     plan = _fault_plan(args)
     if (args.resilient or plan is not None) and not sched.private_tasks:
         if args.resilient:
@@ -308,15 +334,21 @@ def cmd_run(args) -> int:
         t0 = _time.perf_counter()
         out, report = execute_resilient(
             spec, g, sched, policy=policy, fault_plan=plan,
-            num_threads=args.threads,
+            num_threads=args.threads, plan=compiled,
         )
         secs = _time.perf_counter() - t0
         print(f"resilience: {report.describe()}")
     elif args.threads > 1 and not sched.private_tasks:
         g = Grid(spec, shape, seed=args.seed)
         t0 = _time.perf_counter()
-        out = execute_threaded(spec, g, sched, num_threads=args.threads)
+        out = execute_threaded(spec, g, sched, num_threads=args.threads,
+                               plan=compiled)
         secs = _time.perf_counter() - t0
+    elif compiled is not None:
+        from repro.perf.wallclock import time_plan
+
+        g = Grid(spec, shape, seed=args.seed)
+        secs, out = time_plan(compiled, g)
     else:
         secs, out = time_schedule(spec, sched, seed=args.seed)
     g_ref = Grid(spec, shape, seed=args.seed)
@@ -354,8 +386,15 @@ def cmd_tune(args) -> int:
     spec = get_stencil(args.kernel)
     shape = tuple(args.shape) if args.shape else _default_shape(spec)
     machine = paper_machine().scaled_caches(0.05)
-    best = tune_tessellation(spec, shape, args.steps, machine, args.cores)
+    best = tune_tessellation(spec, shape, args.steps, machine, args.cores,
+                             objective=args.objective, repeat=args.repeat)
     print(f"best configuration: {best.describe()}")
+    if args.objective == "wallclock":
+        from repro.engine.cache import default_cache
+
+        st = default_cache().stats
+        print(f"plan cache: {st.hits} hit(s), {st.misses} miss(es), "
+              f"{st.compile_seconds * 1e3:.0f} ms compiling")
     return 0
 
 

@@ -97,13 +97,18 @@ def run_pointwise(
     scratch = np.zeros_like(grid.buffers[0])
     interior = spec.interior_slices(grid.shape)
 
+    # the stage-membership count depends only on (b, s) — never on the
+    # stage or the phase — so build each local step's count array once
+    # here instead of once per stage per phase ((d+1) × #phases times)
+    max_span = min(b, steps)
+    counts = [_stage_count_array(a_vecs, b, s) for s in range(max_span)]
+
     tt = t0
     while tt < t_end:
         span = min(b, t_end - tt)
         for stage in range(d + 1):
             for s in range(span):
-                count = _stage_count_array(a_vecs, b, s)
-                mask = count == stage
+                mask = counts[s] == stage
                 n_upd = int(mask.sum())
                 if n_upd == 0:
                     continue

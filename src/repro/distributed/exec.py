@@ -78,6 +78,10 @@ class CommStats:
     heartbeats: int = 0
     #: rank processes respawned after a loss
     respawns: int = 0
+    #: owned-block plan compilations reported by rank incarnations
+    #: (each incarnation compiles exactly once, at startup — never
+    #: per phase; see :class:`repro.distributed.worker._Worker`)
+    plan_compiles: int = 0
 
     def record(self, stage_idx: int, nbytes: int) -> None:
         self.messages += 1
@@ -89,7 +93,7 @@ class CommStats:
     def merge_worker(self, other: Dict[str, int]) -> None:
         """Fold a worker-reported counter dict into this tally."""
         for key in ("drops", "garbles", "timeouts", "retries",
-                    "checksum_failures"):
+                    "checksum_failures", "plan_compiles"):
             setattr(self, key, getattr(self, key) + int(other.get(key, 0)))
 
     def describe_resilience(self) -> str:

@@ -70,6 +70,7 @@ from repro.distributed.transport import (
     unpack_payload,
     verify_message,
 )
+from repro.engine.kernels import thread_arena
 from repro.runtime.faults import FaultPlan
 from repro.stencils.spec import StencilSpec, region_is_empty
 
@@ -155,9 +156,44 @@ class _Worker:
         self.crc_failures: Dict[Tuple[int, int], int] = {}
         self.stats: Dict[str, int] = dict(drops=0, timeouts=0, retries=0,
                                           checksum_failures=0)
+        self._compile_owned_plan()
         # (state, monotone counter, phase) read by the heartbeat thread
         self.progress: Tuple[str, int, int] = ("init", 0, cfg.restore_phase)
         self._beat_stop = threading.Event()
+
+    def _compile_owned_plan(self) -> None:
+        """Compile this rank's owned-block geometry ONCE per incarnation.
+
+        ``blk.region_at(s, ...)`` depends only on the stage, block and
+        local step ``s`` — never on the phase start ``tt`` — so every
+        slice tuple the compute loop needs is precomputed here instead
+        of being rebuilt each phase.  Units are compiled with ``t = s``
+        (parity ``s % 2``); phases starting at odd ``tt`` run them on
+        the swapped buffer pair, which is the same parity arithmetic as
+        ``(tt + s) % 2``.  Truncated last phases simply stop the local
+        step loop early.  ``plan_compiles`` is reported with the final
+        result so tests can assert compilation happened exactly once
+        per run.
+        """
+        from repro.engine.plan import _CompileCtx
+
+        ctx = _CompileCtx(self.spec, self.shape)
+        self._stage_units: List[List[List[Optional[tuple]]]] = []
+        for si in range(self.n_stages):
+            per_block: List[List[Optional[tuple]]] = []
+            for blk in self.owned[si]:
+                per_s: List[Optional[tuple]] = []
+                for s in range(self.b):
+                    region = blk.region_at(s, self.b, self.slopes,
+                                           self.shape)
+                    if region_is_empty(region):
+                        per_s.append(None)
+                        continue
+                    dirty_idx = tuple(slice(lo, hi) for lo, hi in region)
+                    per_s.append((ctx.slice_unit(s, region), dirty_idx))
+                per_block.append(per_s)
+            self._stage_units.append(per_block)
+        self._plan_compiles = 1
 
     # -- plumbing ----------------------------------------------------
 
@@ -351,19 +387,20 @@ class _Worker:
                     while time.monotonic() < end:
                         self._pump(min(0.05, end - time.monotonic()))
             dirty = np.zeros(self.shape, dtype=bool)
-            for blk in self.owned[si]:
+            # units were compiled with parity s % 2; a phase starting
+            # at odd tt sees the swapped pair, so bufs[(tt + s) % 2]
+            # and pair[s % 2] are the same buffer
+            pair = (self.bufs if tt % 2 == 0
+                    else [self.bufs[1], self.bufs[0]])
+            arena = thread_arena()
+            for per_s in self._stage_units[si]:
                 for s in range(span):
-                    region = blk.region_at(s, self.b, self.slopes,
-                                           self.shape)
-                    if region_is_empty(region):
+                    entry = per_s[s]
+                    if entry is None:
                         continue
-                    self.spec.apply_region(
-                        self.bufs[(tt + s) % 2],
-                        self.bufs[(tt + s + 1) % 2],
-                        region,
-                    )
-                    idx = tuple(slice(lo, hi) for lo, hi in region)
-                    dirty[idx] = True
+                    unit, dirty_idx = entry
+                    unit.run(pair, None, self.spec, arena)
+                    dirty[dirty_idx] = True
             self._bump("exchange", p)
             for dst in self._neighbours():
                 payload = self._band_payload(dst, dirty)
@@ -392,7 +429,7 @@ class _Worker:
         slab = self.bufs[self.cfg.steps % 2][self.interior][tuple(sl)].copy()
         self.chan.send(make_data_message(
             RESULT, self.rank, COORDINATOR, self.epoch, RESULT_KEY,
-            (slab, dict(self.stats)),
+            (slab, dict(self.stats, plan_compiles=self._plan_compiles)),
         ))
 
     def _handle_abort(self, ab: _PhaseAborted) -> int:

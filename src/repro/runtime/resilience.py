@@ -150,8 +150,14 @@ def _run_task_with_faults(
     fault_plan: Optional[FaultPlan],
     deadline_s: Optional[float],
     wall: Optional["_WallClock"] = None,
+    units=None,
 ) -> None:
-    """One task attempt: stall/crash probes, actions, corrupt probe."""
+    """One task attempt: stall/crash probes, actions, corrupt probe.
+
+    ``units`` switches the action loop to the task's precompiled
+    allocation-free units (see :mod:`repro.engine.plan`); fault probes,
+    undo-log discipline and deadlines are unchanged.
+    """
     t0 = time.perf_counter()
     if fault_plan is not None:
         f = fault_plan.stall_fault(group, index)
@@ -175,8 +181,13 @@ def _run_task_with_faults(
                     step = min(step, max(wall.remaining(now), 0.001))
                 time.sleep(step)
         fault_plan.raise_if_crash(group, index)
-    for a in task.actions:
-        spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
+    if units is not None:
+        from repro.engine.plan import run_units
+
+        run_units(units, grid, spec)
+    else:
+        for a in task.actions:
+            spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
     if fault_plan is not None:
         f = fault_plan.corrupt_fault(group, index)
         if f is not None:
@@ -227,6 +238,7 @@ def _attempt_task(
     report: ResilienceReport,
     trace: Optional[ExecutionTrace],
     wall: Optional[_WallClock] = None,
+    units=None,
 ) -> None:
     """Run one task with the per-task retry/backoff loop."""
     attempts = 1 + max(0, policy.max_task_retries)
@@ -234,7 +246,8 @@ def _attempt_task(
     for attempt in range(attempts):
         try:
             _run_task_with_faults(spec, grid, task, group, index,
-                                  fault_plan, policy.task_deadline_s, wall)
+                                  fault_plan, policy.task_deadline_s, wall,
+                                  units)
             return
         except StallTimeoutError:
             # the budget is global: retrying cannot recover spent time
@@ -316,8 +329,15 @@ def execute_resilient(
     fault_plan: Optional[FaultPlan] = None,
     num_threads: int = 1,
     trace: Optional[ExecutionTrace] = None,
+    plan=None,
 ) -> Tuple[np.ndarray, ResilienceReport]:
     """Execute a schedule with checkpoint/restart fault tolerance.
+
+    ``plan`` accepts a :class:`~repro.engine.plan.CompiledPlan` for the
+    same schedule: task attempts then run precompiled allocation-free
+    units while every resilience mechanism (undo log, retries,
+    checkpoints, guards) is unchanged — restarts replay the *compiled*
+    ops on restored state, still bit-identical to a fault-free run.
 
     Returns ``(interior at time schedule.steps, report)``.  Execution
     is deterministic: with transient faults the recovered result is
@@ -343,6 +363,12 @@ def execute_resilient(
         raise ValueError(
             f"grid shape {grid.shape} != schedule shape {schedule.shape}"
         )
+    if plan is not None:
+        if plan.private:
+            raise ValueError("ghost-zone plans have no resilient path")
+        if (plan.shape != schedule.shape or plan.steps != schedule.steps
+                or plan.scheme != schedule.scheme):
+            raise ValueError("plan was compiled for a different schedule")
     schedule.validate_structure()  # pre-flight guard on every entry
     if policy.sanitize:
         from repro.runtime.errors import SanitizerViolation
@@ -388,14 +414,19 @@ def execute_resilient(
             )
             try:
                 tasks = groups[gid]
+                group_units = (plan.task_units(i) if plan is not None
+                               else None)
                 if sequential or len(tasks) == 1:
                     for ti, task in enumerate(tasks):
                         _attempt_task(spec, grid, task, gid, ti, policy,
-                                      fault_plan, report, trace, wall)
+                                      fault_plan, report, trace, wall,
+                                      group_units[ti] if group_units
+                                      else None)
                 else:
                     futures = [
                         pool.submit(_attempt_task, spec, grid, task, gid, ti,
-                                    policy, fault_plan, report, trace, wall)
+                                    policy, fault_plan, report, trace, wall,
+                                    group_units[ti] if group_units else None)
                         for ti, task in enumerate(tasks)
                     ]
                     done, pending = wait(futures,

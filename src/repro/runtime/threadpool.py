@@ -43,6 +43,7 @@ def _run_task(
     group: int = 0,
     index: int = 0,
     fault_plan: Optional[FaultPlan] = None,
+    units=None,
 ) -> int:
     if fault_plan is not None:
         f = fault_plan.stall_fault(group, index)
@@ -51,9 +52,15 @@ def _run_task(
             time.sleep(f.stall_s)
         fault_plan.raise_if_crash(group, index)
     pts = 0
-    for a in task.actions:
-        spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
-        pts += a.points
+    if units is not None:
+        from repro.engine.plan import run_units
+
+        run_units(units, grid, spec)
+        pts = task.points
+    else:
+        for a in task.actions:
+            spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
+            pts += a.points
     if fault_plan is not None and not np.issubdtype(spec.dtype, np.integer):
         if fault_plan.corrupt_fault(group, index) is not None:
             poison_task_output(grid, task)
@@ -67,6 +74,7 @@ def execute_threaded(
     num_threads: int = 4,
     fault_plan: Optional[FaultPlan] = None,
     sanitize: bool = False,
+    plan=None,
 ) -> np.ndarray:
     """Execute a schedule with ``num_threads`` worker threads.
 
@@ -80,6 +88,12 @@ def execute_threaded(
     buffer is touched — the check that makes the "tasks of one group
     are independent" assumption above an enforced invariant instead
     of a convention.
+
+    ``plan`` accepts a :class:`~repro.engine.plan.CompiledPlan` for the
+    same schedule: each task then runs its precompiled allocation-free
+    units (per-task view, original action order — cross-task fusion is
+    never handed to threads, so the barrier-group independence contract
+    is untouched).
     """
     if num_threads < 1:
         raise ValueError(f"num_threads must be >= 1, got {num_threads}")
@@ -93,12 +107,22 @@ def execute_threaded(
         from repro.runtime.sanitizer import sanitize_schedule
 
         sanitize_schedule(spec, schedule).raise_if_violations()
+    if plan is not None:
+        if plan.private:
+            raise ValueError(
+                "ghost-zone plans have no threaded path; use execute_plan"
+            )
+        if (plan.shape != schedule.shape or plan.steps != schedule.steps
+                or plan.scheme != schedule.scheme):
+            raise ValueError("plan was compiled for a different schedule")
     groups = schedule.groups()
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
-        for gid in sorted(groups):
+        for gi, gid in enumerate(sorted(groups)):
             tasks = groups[gid]
+            group_units = plan.task_units(gi) if plan is not None else None
             futures = {
-                pool.submit(_run_task, spec, grid, task, gid, ti, fault_plan):
+                pool.submit(_run_task, spec, grid, task, gid, ti, fault_plan,
+                            group_units[ti] if group_units else None):
                 task
                 for ti, task in enumerate(tasks)
             }

@@ -1,0 +1,190 @@
+"""Plan cache: LRU behaviour, disk tier, autotune and distributed reuse.
+
+The acceptance-criteria assertions live here: the second autotune probe
+of identical parameters is a plan-cache *hit* (observable on
+``cache.stats``), and every distributed rank compiles its owned-block
+plan exactly once per run (``CommStats.plan_compiles == ranks``).
+"""
+
+import numpy as np
+import pytest
+
+from repro import Grid, get_stencil, make_lattice
+from repro.baselines import naive_schedule
+from repro.core.schedules import tess_schedule
+from repro.engine import (
+    PlanCache,
+    compile_plan,
+    execute_plan,
+    plan_key,
+    spec_signature,
+)
+
+pytestmark = pytest.mark.engine
+
+
+def _sched(spec, shape=(128,), b=4, steps=8, merged=False):
+    lat = make_lattice(spec, shape, b)
+    return tess_schedule(spec, shape, lat, steps, merged=merged)
+
+
+# -- keys ------------------------------------------------------------
+
+def test_spec_signature_distinguishes_operators():
+    heat = get_stencil("heat1d")
+    five = get_stencil("1d5p")
+    life = get_stencil("life")
+    sigs = {spec_signature(heat), spec_signature(five),
+            spec_signature(life)}
+    assert len(sigs) == 3
+    # same kernel fetched twice -> same signature
+    assert spec_signature(heat) == spec_signature(get_stencil("heat1d"))
+
+
+def test_plan_key_separates_params_and_options():
+    spec = get_stencil("heat1d")
+    sched = _sched(spec)
+    k0 = plan_key(spec, sched)
+    assert k0 == plan_key(spec, sched)
+    assert k0 != plan_key(spec, sched, params=(4,))
+    assert k0 != plan_key(spec, sched, fuse=False)
+    assert k0 != plan_key(spec, sched, batch_threshold=0)
+
+
+# -- in-memory LRU ---------------------------------------------------
+
+def test_hit_miss_counters_and_identity():
+    spec = get_stencil("heat1d")
+    sched = _sched(spec)
+    cache = PlanCache(capacity=4)
+    p1 = cache.get(spec, sched)
+    assert (cache.stats.hits, cache.stats.misses) == (0, 1)
+    p2 = cache.get(spec, sched)
+    assert (cache.stats.hits, cache.stats.misses) == (1, 1)
+    assert p1 is p2
+    # a structurally identical schedule rebuilt from the same params
+    # also hits: the key is parametric, not object identity
+    cache.get(spec, _sched(spec))
+    assert cache.stats.hits == 2
+    assert cache.stats.compile_seconds > 0
+
+
+def test_lru_eviction_order():
+    spec = get_stencil("heat1d")
+    cache = PlanCache(capacity=2)
+    s_a = _sched(spec, steps=4)
+    s_b = _sched(spec, steps=6)
+    s_c = _sched(spec, steps=8)
+    cache.get(spec, s_a)
+    cache.get(spec, s_b)
+    cache.get(spec, s_a)          # refresh A; B is now least-recent
+    cache.get(spec, s_c)          # evicts B
+    assert cache.stats.evictions == 1
+    assert len(cache) == 2
+    hits = cache.stats.hits
+    cache.get(spec, s_a)
+    cache.get(spec, s_c)
+    assert cache.stats.hits == hits + 2
+    cache.get(spec, s_b)          # really gone -> recompiled
+    assert cache.stats.misses == 4
+
+
+def test_cached_plan_still_correct():
+    spec = get_stencil("heat2d")
+    sched = _sched(spec, shape=(40, 40), b=4, steps=8)
+    cache = PlanCache()
+    plan = cache.get(spec, sched)
+    plan2 = cache.get(spec, sched)
+    g = Grid(spec, (40, 40), init="random", seed=3)
+    g2 = g.copy()
+    from repro.runtime import execute_schedule
+    ref = execute_schedule(spec, g, sched)
+    assert np.array_equal(ref, execute_plan(plan2, g2))
+    assert plan is plan2
+
+
+# -- disk tier -------------------------------------------------------
+
+def test_disk_tier_round_trip(tmp_path):
+    spec = get_stencil("heat1d")
+    sched = _sched(spec)
+    c1 = PlanCache(capacity=4, disk_dir=str(tmp_path))
+    c1.get(spec, sched)
+    assert c1.stats.disk_stores == 1
+    assert list(tmp_path.glob("plan-*.pkl"))
+
+    # a fresh cache (new process, conceptually) loads from disk
+    c2 = PlanCache(capacity=4, disk_dir=str(tmp_path))
+    plan = c2.get(spec, sched)
+    assert c2.stats.disk_hits == 1
+    assert c2.stats.misses == 0
+    g = Grid(spec, (128,), init="random", seed=5)
+    g2 = g.copy()
+    from repro.runtime import execute_schedule
+    assert np.array_equal(execute_schedule(spec, g, sched),
+                          execute_plan(plan, g2))
+
+
+def test_disk_corruption_is_a_miss(tmp_path):
+    spec = get_stencil("heat1d")
+    sched = _sched(spec)
+    c1 = PlanCache(disk_dir=str(tmp_path))
+    c1.get(spec, sched)
+    (path,) = tmp_path.glob("plan-*.pkl")
+    path.write_bytes(b"not a pickle")
+    c2 = PlanCache(disk_dir=str(tmp_path))
+    c2.get(spec, sched)
+    assert c2.stats.disk_hits == 0
+    assert c2.stats.misses == 1
+
+
+# -- autotune: second probe of identical params hits -----------------
+
+def test_autotune_second_probe_hits_cache():
+    from repro.autotune import grid_search
+
+    spec = get_stencil("heat1d")
+    cache = PlanCache(capacity=64)
+    kw = dict(machine=None, cores=1, objective="wallclock", cache=cache,
+              repeat=1, depths=[2, 4], width_factors=(1, 2))
+    first = grid_search(spec, (512,), 16, **kw)
+    assert first and all(r.measured for r in first)
+    probes = cache.stats.misses
+    assert probes == len(first)
+    assert cache.stats.hits == 0
+
+    # identical sweep: every probe is now a hit, nothing recompiles
+    second = grid_search(spec, (512,), 16, **kw)
+    assert len(second) == len(first)
+    assert cache.stats.misses == probes
+    assert cache.stats.hits == probes
+
+
+def test_tune_tessellation_wallclock_uses_cache():
+    from repro.autotune import tune_tessellation
+
+    spec = get_stencil("heat1d")
+    cache = PlanCache(capacity=64)
+    best = tune_tessellation(spec, (512,), 16, machine=None, cores=1,
+                             objective="wallclock", cache=cache, repeat=1)
+    assert best.measured and best.time_s > 0
+    # coordinate descent revisits the coarse winner -> at least one hit
+    assert cache.stats.hits >= 1
+
+
+# -- distributed: each rank compiles exactly once per run ------------
+
+@pytest.mark.dist
+def test_distributed_ranks_compile_once():
+    from repro.distributed import execute_elastic
+
+    spec = get_stencil("heat1d")
+    shape, b, steps, ranks = (400,), 4, 16, 3
+    lat = make_lattice(spec, shape, b)
+    grid = Grid(spec, shape, seed=0)
+    out, stats = execute_elastic(spec, grid.copy(), lat, steps, ranks)
+    from repro import reference_sweep
+    assert np.array_equal(reference_sweep(spec, grid.copy(), steps), out)
+    # one compile per rank incarnation, never one per phase
+    assert stats.plan_compiles == ranks
+    assert (steps + b - 1) // b > 1  # multiple phases actually ran

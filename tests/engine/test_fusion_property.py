@@ -1,0 +1,92 @@
+"""Property test: plan fusion preserves the sanitizer's invariants.
+
+:meth:`CompiledPlan.as_schedule` re-expresses the compiled stream —
+after parity resolution, same-step rectangle fusion and batching — as
+a plain RegionSchedule (one barrier group per same-step layer).  For
+any valid tessellation lattice, that reconstructed schedule must still
+pass the full structural sanitizer: exact tessellation (Theorem 3.5),
+ping-pong dependence legality (Theorem 3.6) and intra-group race
+freedom.  Fusion that merged two rectangles across a tessellation
+boundary, dropped cells, or double-covered a point would fail here.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Grid, get_stencil
+from repro.baselines import naive_schedule, spatial_schedule
+from repro.core import make_lattice
+from repro.core.schedules import tess_schedule
+from repro.engine import compile_plan, execute_plan
+from repro.runtime import execute_schedule, sanitize_schedule
+
+pytestmark = pytest.mark.engine
+
+
+lattice_cases = st.tuples(
+    st.integers(min_value=2, max_value=6),        # b
+    st.integers(min_value=40, max_value=90),      # n
+    st.integers(min_value=1, max_value=20),       # steps
+    st.booleans(),                                # merged
+)
+
+
+@given(lattice_cases)
+@settings(max_examples=25, deadline=None)
+def test_fusion_preserves_tessellation_1d(case):
+    b, n, steps, merged = case
+    spec = get_stencil("heat1d")
+    lat = make_lattice(spec, (n,), b)
+    sched = tess_schedule(spec, (n,), lat, steps, merged=merged)
+    plan = compile_plan(spec, sched)
+    report = sanitize_schedule(spec, plan.as_schedule())
+    assert report.ok, report.describe()
+
+
+@given(st.tuples(
+    st.integers(min_value=2, max_value=4),        # b
+    st.integers(min_value=24, max_value=40),      # n0
+    st.integers(min_value=24, max_value=40),      # n1
+    st.integers(min_value=1, max_value=9),        # steps
+))
+@settings(max_examples=10, deadline=None)
+def test_fusion_preserves_tessellation_2d(case):
+    b, n0, n1, steps = case
+    spec = get_stencil("heat2d")
+    lat = make_lattice(spec, (n0, n1), b)
+    sched = tess_schedule(spec, (n0, n1), lat, steps, merged=False)
+    plan = compile_plan(spec, sched)
+    report = sanitize_schedule(spec, plan.as_schedule())
+    assert report.ok, report.describe()
+
+
+@given(st.tuples(
+    st.integers(min_value=30, max_value=80),      # n
+    st.integers(min_value=1, max_value=10),       # steps
+    st.integers(min_value=1, max_value=5),        # chunks
+))
+@settings(max_examples=15, deadline=None)
+def test_fusion_preserves_invariants_on_fusing_schedules(case):
+    # naive/spatial schedules are where rectangle fusion actually
+    # fires (adjacent slabs of one sweep merge) — the reconstructed
+    # schedule must stay sanitizer-clean AND bit-identical
+    n, steps, chunks = case
+    spec = get_stencil("heat1d")
+    sched = naive_schedule(spec, (n,), steps, chunks=chunks)
+    plan = compile_plan(spec, sched)
+    report = sanitize_schedule(spec, plan.as_schedule())
+    assert report.ok, report.describe()
+    g = Grid(spec, (n,), init="random", seed=1)
+    g2 = g.copy()
+    assert np.array_equal(execute_schedule(spec, g, sched),
+                          execute_plan(plan, g2))
+
+
+def test_fused_spatial_schedule_stays_clean():
+    spec = get_stencil("heat2d")
+    sched = spatial_schedule(spec, (36, 36), 5, (10, 10))
+    plan = compile_plan(spec, sched)
+    assert plan.stats.fused_actions > 0
+    report = sanitize_schedule(spec, plan.as_schedule())
+    assert report.ok, report.describe()
