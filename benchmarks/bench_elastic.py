@@ -14,11 +14,9 @@ import numpy as np
 import pytest
 
 from repro import Grid, get_stencil, make_lattice, reference_sweep
-from repro.distributed import (
-    ElasticConfig,
-    execute_distributed,
-    execute_elastic,
-)
+from repro.distributed import ElasticConfig
+from repro.distributed.exec import _execute_distributed
+from repro.distributed.elastic import _execute_elastic
 from repro.runtime import FaultPlan, FaultSpec
 
 pytestmark = pytest.mark.dist
@@ -52,12 +50,12 @@ def test_elastic_vs_simulator_overhead(benchmark, capsys):
         return time.perf_counter() - t0, out, stats
 
     sim_s, sim_out, _ = benchmark.pedantic(
-        lambda: timed(lambda g: execute_distributed(
+        lambda: timed(lambda g: _execute_distributed(
             spec, g, lat, STEPS, RANKS)),
         rounds=1, iterations=1)
-    ela_s, ela_out, ela_stats = timed(lambda g: execute_elastic(
+    ela_s, ela_out, ela_stats = timed(lambda g: _execute_elastic(
         spec, g, lat, STEPS, RANKS, config=FAST))
-    kill_s, kill_out, kill_stats = timed(lambda g: execute_elastic(
+    kill_s, kill_out, kill_stats = timed(lambda g: _execute_elastic(
         spec, g, lat, STEPS, RANKS, config=FAST,
         fault_plan=FaultPlan([FaultSpec("kill_rank", group=3, task=1)])))
 

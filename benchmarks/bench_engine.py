@@ -47,7 +47,8 @@ import numpy as np
 from repro import Grid, get_stencil, make_lattice
 from repro.core.schedules import tess_schedule
 from repro.engine import PlanCache
-from repro.runtime import execute_schedule, execute_threaded
+from repro.runtime.schedule import _execute_schedule
+from repro.runtime.threadpool import _execute_threaded
 
 SCHEMA = "bench-engine/1"
 
@@ -96,18 +97,18 @@ def bench_workload(name, kernel, shape, steps, b, merged, threads,
     init = [buf.copy() for buf in grid.buffers]
 
     if threads == 1:
-        from repro.engine import execute_plan
+        from repro.engine.plan import _execute_plan
 
         naive_fn = _restored(grid, init,
-                             lambda: execute_schedule(spec, grid, sched))
-        comp_fn = _restored(grid, init, lambda: execute_plan(plan, grid))
+                             lambda: _execute_schedule(spec, grid, sched))
+        comp_fn = _restored(grid, init, lambda: _execute_plan(plan, grid))
     else:
         naive_fn = _restored(
             grid, init,
-            lambda: execute_threaded(spec, grid, sched, num_threads=threads))
+            lambda: _execute_threaded(spec, grid, sched, num_threads=threads))
         comp_fn = _restored(
             grid, init,
-            lambda: execute_threaded(spec, grid, sched, num_threads=threads,
+            lambda: _execute_threaded(spec, grid, sched, num_threads=threads,
                                      plan=plan))
 
     naive_s, naive_out = _min_of_k(naive_fn, repeat, warmup)

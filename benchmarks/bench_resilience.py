@@ -12,10 +12,9 @@ import numpy as np
 from repro import Grid, get_stencil, make_lattice
 from repro.bench.resilience import resilience_overhead
 from repro.core.schedules import tess_schedule
-from repro.runtime import (
-    FaultPlan, FaultSpec, ResiliencePolicy, execute_resilient,
-    execute_schedule,
-)
+from repro.runtime import FaultPlan, FaultSpec, ResiliencePolicy
+from repro.runtime.resilience import _execute_resilient
+from repro.runtime.schedule import _execute_schedule
 
 SHAPE = (96, 96)
 STEPS = 16
@@ -32,13 +31,13 @@ def test_checkpoint_cadence_overhead(benchmark, capsys):
     spec = get_stencil("heat2d")
     lat = make_lattice(spec, SHAPE, B)
     sched = tess_schedule(spec, SHAPE, lat, STEPS, merged=True)
-    ref = execute_schedule(spec, Grid(spec, SHAPE, seed=0), sched).copy()
+    ref = _execute_schedule(spec, Grid(spec, SHAPE, seed=0), sched).copy()
 
     # recovery replays deterministically: a late fault with sparse
     # checkpoints still converges to the bit-identical answer
     plan = FaultPlan([FaultSpec("corrupt", group=sched.num_groups - 1,
                                 task=0)])
-    out2, rep = execute_resilient(
+    out2, rep = _execute_resilient(
         spec, Grid(spec, SHAPE, seed=0), sched,
         policy=ResiliencePolicy(checkpoint_interval=0), fault_plan=plan)
     assert np.array_equal(ref, out2)

@@ -16,7 +16,8 @@ import numpy as np
 
 from repro import Grid, get_stencil, make_lattice
 from repro.core.schedules import tess_schedule
-from repro.runtime import execute_threaded, sanitize_schedule
+from repro.runtime import sanitize_schedule
+from repro.runtime.threadpool import _execute_threaded
 
 B = 4
 STEPS = 8
@@ -38,7 +39,7 @@ def test_sanitizer_preflight_overhead(benchmark, capsys):
     def run(sanitize):
         grid = Grid(spec, shape, seed=0)
         t0 = time.perf_counter()
-        execute_threaded(spec, grid, sched, num_threads=2,
+        _execute_threaded(spec, grid, sched, num_threads=2,
                          sanitize=sanitize)
         return time.perf_counter() - t0
 

@@ -14,7 +14,7 @@ from repro import Grid, get_stencil, make_lattice
 from repro.baselines import diamond_schedule, naive_schedule
 from repro.core.paper2d import run_paper2d
 from repro.core.schedules import tess_schedule
-from repro.runtime.schedule import execute_schedule
+from repro.runtime.schedule import _execute_schedule
 from repro.stencils import reference_sweep
 
 SHAPE = (360, 360)
@@ -35,7 +35,7 @@ def expected(spec):
 
 def _run(spec, sched):
     g = Grid(spec, SHAPE, seed=0)
-    return execute_schedule(spec, g, sched)
+    return _execute_schedule(spec, g, sched)
 
 
 def test_naive_sweep(benchmark, spec, expected):

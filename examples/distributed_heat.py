@@ -12,14 +12,13 @@ Run:  python examples/distributed_heat.py
 
 import numpy as np
 
-from repro import Grid, get_stencil, make_lattice, reference_sweep
+from repro import get_stencil, make_lattice
+from repro.api import RunConfig, Session
 from repro.bench.report import format_table
 from repro.distributed import (
     ClusterSpec,
     ElasticConfig,
     communication_plan,
-    execute_distributed,
-    execute_elastic,
     simulate_distributed,
 )
 from repro.runtime import FaultPlan
@@ -33,14 +32,14 @@ def main() -> None:
     steps = 24
     b = 4
     ranks = 4
-    lattice = make_lattice(spec, shape, b)
+    session = Session(spec)
+    config = RunConfig(shape=shape, steps=steps, scheme="tess", b=b,
+                       ranks=ranks, backend="distributed", verify=True)
 
     # 1. run the real message-passing simulation and verify it
-    grid = Grid(spec, shape, seed=0)
-    ref = reference_sweep(spec, grid.copy(), steps)
-    out, stats = execute_distributed(spec, grid.copy(), lattice, steps,
-                                     ranks)
-    assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+    result = session.run(config)
+    assert result.ok
+    stats = result.stats.comm
     print(f"{ranks} ranks over {shape}, {steps} steps: verified against "
           f"the single-node reference")
     print(f"exchanges: {stats.messages} messages, "
@@ -49,17 +48,17 @@ def main() -> None:
     # 2. the same run on real rank processes, with a rank killed
     # mid-run: the coordinator respawns it, replays the aborted phase
     # from the committed checkpoints, and the result is bit-identical
-    out2, stats2 = execute_elastic(
-        spec, grid.copy(), lattice, steps, ranks,
+    res2 = session.run(
+        config, backend="elastic", verify=False,
         fault_plan=FaultPlan.parse(["kill_rank@3/1"]),
-        config=ElasticConfig(stall_timeout_s=0.6, heartbeat_timeout_s=1.5),
+        elastic=ElasticConfig(stall_timeout_s=0.6, heartbeat_timeout_s=1.5),
     )
-    assert np.array_equal(out, out2)
+    assert np.array_equal(result.interior, res2.interior)
     print(f"elastic process runtime, kill_rank@3/1 injected: recovered "
-          f"bit-identically ({stats2.describe_resilience()})\n")
+          f"bit-identically ({res2.stats.comm.describe_resilience()})\n")
 
     # 3. the analytic per-stage communication plan
-    entries = communication_plan(spec, shape, lattice, ranks)
+    entries = communication_plan(spec, shape, result.lattice, ranks)
     tot = plan_totals(entries)
     print(f"analytic plan: {tot['messages']} point-to-point transfers "
           f"per phase, {tot['total_bytes'] / 1024:.1f} KiB minimum "

@@ -2,11 +2,11 @@
 
 The barrier groups that make tessellated schedules parallel are also
 consistency points: at every barrier the ping-pong pair is a complete
-state.  ``execute_resilient`` checkpoints there, retries failed tasks,
-and restores/replays groups on corruption — so a run hit by injected
-faults still produces results *bit-identical* to a fault-free run.
-The distributed simulator does the same per phase, with a divergence
-detector guarding the ghost-band exchanges.
+state.  The ``resilient`` backend checkpoints there, retries failed
+tasks, and restores/replays groups on corruption — so a run hit by
+injected faults still produces results *bit-identical* to a fault-free
+run.  The ``distributed`` backend does the same per phase, with a
+divergence detector guarding the ghost-band exchanges.
 
 Run: ``PYTHONPATH=src python examples/fault_tolerance.py``
 CLI equivalent::
@@ -19,22 +19,19 @@ CLI equivalent::
 
 import numpy as np
 
-from repro import Grid, get_stencil, make_lattice
-from repro.core.schedules import tess_schedule
-from repro.distributed import execute_distributed
+from repro import get_stencil
+from repro.api import RunConfig, Session
 from repro.runtime import (
     ExecutionError, FaultPlan, FaultSpec, ResiliencePolicy,
-    execute_resilient, execute_schedule,
 )
 
 
 def main() -> None:
     spec = get_stencil("heat2d")
-    shape, steps, b = (64, 64), 12, 4
-    lattice = make_lattice(spec, shape, b)
-    sched = tess_schedule(spec, shape, lattice, steps, merged=True)
+    session = Session(spec)
+    base = RunConfig(shape=(64, 64), steps=12, scheme="tess", b=4)
 
-    ref = execute_schedule(spec, Grid(spec, shape, seed=0), sched).copy()
+    ref = session.run(base).interior.copy()
 
     # -- shared memory: crash + silent corruption + stall ------------
     plan = FaultPlan([
@@ -42,11 +39,11 @@ def main() -> None:
         FaultSpec("corrupt", group=3, task=1),          # silent NaNs
         FaultSpec("stall", group=2, task=0, stall_s=0.05),
     ])
-    policy = ResiliencePolicy(task_deadline_s=0.02)
-    out, report = execute_resilient(
-        spec, Grid(spec, shape, seed=0), sched,
-        policy=policy, fault_plan=plan, num_threads=4)
-    exact = np.array_equal(ref, out)
+    result = session.run(
+        base, backend="resilient", threads=4, fault_plan=plan,
+        resilience=ResiliencePolicy(task_deadline_s=0.02))
+    report = result.stats.resilience
+    exact = np.array_equal(ref, result.interior)
     print(f"injected {len(plan.faults)} faults ({plan.describe()})")
     print(f"  {report.describe()}")
     print(f"  recovered bit-identical to fault-free run: {exact}")
@@ -55,24 +52,23 @@ def main() -> None:
     # -- a persistent failure stays loud, not silent -----------------
     dead = FaultPlan([FaultSpec("crash", group=2, task=0, max_hits=10_000)])
     try:
-        execute_resilient(spec, Grid(spec, shape, seed=0), sched,
-                          fault_plan=dead, num_threads=4)
+        session.run(base, backend="resilient", threads=4,
+                    resilience=ResiliencePolicy(), fault_plan=dead)
     except ExecutionError as e:
         print(f"persistent fault -> structured error: {e}")
 
     # -- distributed: dropped ghost-band exchange --------------------
     spec1 = get_stencil("heat1d")
-    shape1, steps1 = (400,), 16
-    lat1 = make_lattice(spec1, shape1, b)
-    g1 = Grid(spec1, shape1, seed=0)
-    base, _ = execute_distributed(spec1, g1.copy(), lat1, steps1, 4)
+    dsession = Session(spec1)
+    dist = RunConfig(shape=(400,), steps=16, scheme="tess", b=4,
+                     backend="distributed", ranks=4)
+    base_out = dsession.run(dist).interior
     dplan = FaultPlan([FaultSpec("drop", group=2, task=1)])
-    out1, stats = execute_distributed(
-        spec1, g1.copy(), lat1, steps1, 4,
-        fault_plan=dplan, resilient=True)
-    exact1 = np.array_equal(base, out1)
+    res = dsession.run(dist, fault_plan=dplan,
+                       resilience=ResiliencePolicy())
+    exact1 = np.array_equal(base_out, res.interior)
     print(f"distributed: dropped exchange at stage 2 -> "
-          f"{stats.phase_restarts} phase replay(s), "
+          f"{res.stats.comm.phase_restarts} phase replay(s), "
           f"recovered bit-identical: {exact1}")
     assert exact1
 

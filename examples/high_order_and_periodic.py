@@ -8,14 +8,16 @@
   block period gets one stretched block per axis (Fig. 6): the points
   in the stretched gap take all `b` updates in one intermediate stage.
 
+Both run through the unified pipeline: the block executor is the
+``baseline:blocked`` backend, and ``baseline:pointwise`` is the only
+backend whose ``supports()`` accepts periodic boundaries.
+
 Run:  python examples/high_order_and_periodic.py
 """
 
-import numpy as np
-
-from repro import Grid, get_stencil, make_lattice, run_blocked, run_pointwise
+from repro import Grid, get_stencil
+from repro.api import RunConfig, Session
 from repro.core.profiles import AxisProfile, TessLattice
-from repro.stencils import reference_sweep
 
 
 def high_order() -> None:
@@ -23,13 +25,12 @@ def high_order() -> None:
     print(spec.describe())
     shape = (20_000,)
     steps = 48
-    b = 12
-    grid = Grid(spec, shape, seed=1)
-    ref = reference_sweep(spec, grid.copy(), steps)
-    lattice = make_lattice(spec, shape, b)  # slope-2 supernodes built in
-    out = run_blocked(spec, grid.copy(), lattice, steps)
-    assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
-    widths = {hi - lo for lo, hi in lattice.profiles[0].cores}
+    result = Session(spec).run(
+        RunConfig(shape=shape, steps=steps, b=12,
+                  backend="baseline:blocked", verify=True),
+        grid=Grid(spec, shape, seed=1))
+    assert result.ok
+    widths = {hi - lo for lo, hi in result.lattice.profiles[0].cores}
     print(
         f"  order-2 dependence handled by sigma-sized cores {widths}; "
         f"{steps} steps verified on N={shape[0]}\n"
@@ -42,16 +43,17 @@ def periodic_stretched() -> None:
     shape = (157, 211)  # primes: no block period divides these
     steps = 20
     b = 4
-    grid = Grid(spec, shape, seed=2)
-    ref = reference_sweep(spec, grid.copy(), steps)
     lattice = TessLattice((
         AxisProfile.stretched(shape[0], b, periodic=True),
         AxisProfile.stretched(shape[1], b, periodic=True),
     ))
     for prof in lattice.profiles:
         prof.validate()
-    out = run_pointwise(spec, grid.copy(), lattice, steps)
-    assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+    result = Session(spec).execute(
+        Grid(spec, shape, seed=2), lattice=lattice,
+        config=RunConfig(shape=shape, steps=steps, b=b,
+                         backend="baseline:pointwise", verify=True))
+    assert result.ok
     gaps = [
         max(hi - lo for lo, hi in prof.plateaus())
         for prof in lattice.profiles

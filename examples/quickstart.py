@@ -1,51 +1,48 @@
 #!/usr/bin/env python3
-"""Quickstart: tessellated time tiling of a 2D heat stencil.
+"""Quickstart: tessellated time tiling through the unified pipeline.
 
-Builds the paper's two-level tessellation for a Heat-2D kernel, runs
-the merged (§4.3) block executor, and verifies bit-level agreement
-with the naive sweep.
+One :func:`repro.api.run` call drives the whole paper: build the
+two-level tessellation schedule for a Heat-2D kernel (§3), execute it,
+and verify bit-level agreement with the naive sweep.
 
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
+from repro import get_stencil
+from repro.api import run
 
-from repro import Grid, get_stencil, make_lattice, reference_sweep, run_merged
-from repro.core.schedules import tess_schedule
-from repro.runtime import schedule_stats
 
 def main() -> None:
     # 1. pick a stencil kernel (any of the paper's seven benchmarks)
     spec = get_stencil("heat2d")
     print(spec.describe())
 
-    # 2. allocate a grid and a tessellation lattice: time-tile depth
-    #    b=8, anisotropic core widths (the §4.2 coarsening)
-    shape = (300, 300)
-    steps = 32
-    grid = Grid(spec, shape, init="gradient", seed=0)
-    lattice = make_lattice(spec, shape, b=8, core_widths=(8, 16))
-
-    # 3. run the merged tessellation executor
-    out = run_merged(spec, grid.copy(), lattice, steps)
-
-    # 4. verify against the naive reference
-    ref = reference_sweep(spec, grid.copy(), steps)
-    assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
+    # 2. run the pipeline: build the tessellated schedule (time-tile
+    #    depth b=8, anisotropic §4.2 core widths), execute it, verify
+    #    against the naive reference
+    shape, steps = (300, 300), 32
+    result = run(spec, shape=shape, steps=steps, scheme="tess",
+                 b=8, core_widths=(8, 16), verify=True)
+    assert result.ok
     print(f"verified: {steps} steps on {shape} grid match the naive sweep")
 
-    # 5. inspect the schedule the executor ran (tasks, barriers, ...)
-    sched = tess_schedule(spec, shape, lattice, steps, merged=True)
-    st = schedule_stats(sched)
+    # 3. inspect the schedule the backend ran (tasks, barriers, ...)
+    st = result.stats.schedule
     print(
         f"schedule: {st['tasks']} blocks in {st['groups']} barrier groups "
-        f"({st['groups'] / (steps / lattice.b):.1f} syncs per phase), "
+        f"({st['groups'] / (steps / result.config.b):.1f} syncs per phase), "
         f"0 redundant updates"
     )
     print(
         f"concurrency: up to {st['max_group_width']} independent blocks "
         f"per stage (concurrent start)"
     )
+
+    # 4. any other executor is one flag away — the same config runs on
+    #    the thread pool, the compiled engine, or the rank simulator:
+    #    run(spec, ..., backend="threaded", threads=4)
+    #    run(spec, ..., backend="compiled")
+    #    run(spec, ..., backend="distributed", ranks=4)
 
 
 if __name__ == "__main__":

@@ -2,6 +2,9 @@
 
 Public API surface:
 
+* **the unified execution pipeline** — :mod:`repro.api`
+  (:func:`repro.api.run`, :class:`repro.api.Session`,
+  :class:`repro.api.RunConfig`, the backend registry);
 * stencil kernels and grids — :mod:`repro.stencils`;
 * the tessellation scheme (the paper's contribution) — :mod:`repro.core`;
 * competing tiling schemes (Pluto-style diamond, Pochoir-style
@@ -30,6 +33,13 @@ from repro.core import (
     run_merged,
     run_pointwise,
 )
+from repro.api import (
+    RunConfig,
+    RunResult,
+    RunStats,
+    Session,
+    run,
+)
 
 __version__ = "1.0.0"
 
@@ -45,5 +55,10 @@ __all__ = [
     "run_blocked",
     "run_merged",
     "run_pointwise",
+    "RunConfig",
+    "RunResult",
+    "RunStats",
+    "Session",
+    "run",
     "__version__",
 ]

@@ -1,0 +1,182 @@
+"""RunConfig — the one flag set of the unified execution pipeline.
+
+Every knob the eight historical entry points spread over divergent
+signatures (scheme and tile parameters, engine selection, thread
+count, sanitizer pre-flight, resilience policy, fault plan, distributed
+topology, elastic runtime tuning) lives here once.  The CLI, the
+autotuner, the bench harness and the examples all build a
+:class:`RunConfig` and hand it to :func:`repro.api.run` /
+:class:`repro.api.Session`.
+
+Backend and engine names are normalised through alias tables so the
+historical spellings (``--procs``, ``--objective wallclock``, ...)
+keep working while the canonical pair is ``backend``/``engine``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = [
+    "RunConfig",
+    "BACKEND_ALIASES",
+    "ENGINE_ALIASES",
+    "normalize_backend",
+    "normalize_engine",
+]
+
+
+#: historical / convenience spellings -> canonical backend names
+BACKEND_ALIASES: Dict[str, str] = {
+    "seq": "serial",
+    "sequential": "serial",
+    "schedule": "serial",
+    "plan": "compiled",
+    "engine": "compiled",
+    "threadpool": "threaded",
+    "threads": "threaded",
+    "sim": "distributed",
+    "simulated": "distributed",
+    "procs": "elastic",
+    "processes": "elastic",
+    "blocked": "baseline:blocked",
+    "merged": "baseline:merged",
+    "pointwise": "baseline:pointwise",
+    "overlapped-executor": "baseline:overlapped",
+}
+
+#: historical spellings -> canonical engine names
+ENGINE_ALIASES: Dict[str, str] = {
+    "walk": "naive",
+    "interpreted": "naive",
+    "simulate": "naive",
+    "wallclock": "compiled",
+}
+
+_ENGINES = ("auto", "naive", "compiled")
+
+
+def normalize_backend(name: str) -> str:
+    """Resolve a backend spelling to its canonical registry name."""
+    name = str(name).strip().lower()
+    return BACKEND_ALIASES.get(name, name)
+
+
+def normalize_engine(name: str) -> str:
+    """Resolve an engine spelling to ``auto``/``naive``/``compiled``."""
+    name = str(name).strip().lower()
+    name = ENGINE_ALIASES.get(name, name)
+    if name not in _ENGINES:
+        raise ValueError(
+            f"unknown engine {name!r}; expected one of {_ENGINES} "
+            f"(aliases: {sorted(ENGINE_ALIASES)})"
+        )
+    return name
+
+
+@dataclass
+class RunConfig:
+    """Every knob of one pipeline run, with sane defaults.
+
+    Problem selection (``shape``/``steps``), schedule construction
+    (``scheme`` and tile parameters), lowering (``engine``), execution
+    (``backend`` plus backend-family options) and instrumentation
+    (``trace``/``verify``) — see ``docs/architecture.md`` for which
+    backend consumes which group.
+    """
+
+    # -- problem ------------------------------------------------------
+    shape: Optional[Tuple[int, ...]] = None  #: None = kernel default
+    steps: int = 32
+    seed: int = 0
+
+    # -- schedule construction ---------------------------------------
+    scheme: str = "tess"
+    b: int = 8  #: time-tile depth
+    core_widths: Optional[Tuple[int, ...]] = None
+    uncut_dims: Tuple[int, ...] = ()
+    tile: Optional[Tuple[int, ...]] = None  #: spatial/overlapped tile
+    #: seeded schedule mutations (``kind@group[/task]``) applied after
+    #: construction — the sanitizer's bug-planting harness
+    mutations: Tuple[str, ...] = ()
+
+    # -- lowering & execution ----------------------------------------
+    backend: str = "serial"
+    engine: str = "auto"  #: auto | naive | compiled
+    threads: int = 1
+    sanitize: bool = False
+    verify: bool = False
+
+    # -- resilience ---------------------------------------------------
+    resilience: Any = None  #: Optional[ResiliencePolicy]
+    fault_plan: Any = None  #: Optional[FaultPlan]
+
+    # -- distributed topology ----------------------------------------
+    ranks: int = 4
+    axis: int = 0
+    ghost: Optional[int] = None
+    check_divergence: bool = False
+    max_phase_restarts: int = 2
+    elastic: Any = None  #: Optional[ElasticConfig]
+
+    # -- instrumentation / escape hatch ------------------------------
+    trace: Any = None  #: Optional[ExecutionTrace]
+    #: backend-specific extras (``t0``, ``on_block``, ``arena``, ...)
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    # ----------------------------------------------------------------
+
+    @property
+    def resilient(self) -> bool:
+        return self.resilience is not None
+
+    def normalized(self) -> "RunConfig":
+        """Canonical copy: aliases resolved, basic ranges validated."""
+        cfg = replace(
+            self,
+            backend=normalize_backend(self.backend),
+            engine=normalize_engine(self.engine),
+            shape=(tuple(int(n) for n in self.shape)
+                   if self.shape is not None else None),
+            mutations=tuple(self.mutations),
+            uncut_dims=tuple(self.uncut_dims),
+        )
+        if cfg.steps < 0:
+            raise ValueError(f"steps must be >= 0, got {cfg.steps}")
+        if cfg.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {cfg.threads}")
+        if cfg.ranks < 1:
+            raise ValueError(f"ranks must be >= 1, got {cfg.ranks}")
+        if cfg.b < 1:
+            raise ValueError(f"time-tile depth b must be >= 1, got {cfg.b}")
+        return cfg
+
+    def with_overrides(self, overrides: Dict[str, Any]) -> "RunConfig":
+        """Copy with keyword overrides; unknown keys raise."""
+        if not overrides:
+            return self
+        known = {f.name for f in fields(self)}
+        unknown = set(overrides) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RunConfig field(s) {sorted(unknown)}; "
+                f"known fields: {sorted(known)}"
+            )
+        return replace(self, **overrides)
+
+    def tile_params(self) -> Tuple:
+        """Schedule-construction parameters, for plan-cache identity.
+
+        Everything that changes the built schedule without changing
+        ``(spec, shape, steps, scheme)`` must appear here — tile depth,
+        width overrides and planted mutations — so distinct tilings of
+        one scheme never collide in the plan cache.
+        """
+        return (
+            self.b,
+            self.core_widths,
+            self.uncut_dims,
+            self.tile,
+            *self.mutations,
+        )

@@ -1,0 +1,32 @@
+"""Deprecation machinery for the legacy executor entry points.
+
+The eight historical entry points (``run_blocked``, ``run_merged``,
+``execute_schedule``, ``execute_threaded``, ``execute_resilient``,
+``execute_plan``, ``execute_distributed``, ``execute_elastic``) survive
+as thin shims that delegate to the :mod:`repro.api` facade and emit
+exactly one :class:`DeprecationWarning` per call.  First-party code
+(the package itself, the CLI, the bench harness, the examples and the
+test-suite outside the dedicated shim test) never goes through them —
+CI runs a ``-W error::DeprecationWarning`` job to enforce that.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_legacy"]
+
+
+def warn_legacy(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the single DeprecationWarning of a legacy entry point.
+
+    ``stacklevel=3`` points the warning at the *caller* of the shim
+    (shim -> warn_legacy -> warnings.warn), which is where the
+    migration has to happen.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        f"(see docs/architecture.md)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )

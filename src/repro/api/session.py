@@ -1,0 +1,265 @@
+"""Session — the one pipeline every execution path flows through.
+
+::
+
+    StencilSpec --ScheduleBuilder--> RegionSchedule
+                --engine lowering--> CompiledPlan   (optional)
+                --Backend.execute--> interior + RunStats
+
+A :class:`Session` binds a stencil spec to a plan cache and a schedule
+builder and exposes the pipeline at three levels:
+
+* :meth:`Session.run` — everything from a :class:`RunConfig` (build,
+  sanitize, lower, execute, verify);
+* :meth:`Session.execute` — run prebuilt artifacts (schedule, lattice,
+  plan) through a backend; this is what the legacy entry-point shims
+  delegate to;
+* :meth:`Session.build` / :meth:`Session.lower` — the individual
+  stages, for callers (autotuner, benchmarks) that reuse artifacts
+  across many runs.
+
+Module-level :func:`run` / :func:`execute` are one-shot conveniences
+that create a throwaway session.
+
+Stats discipline: the compiled plan for one run is obtained **once**,
+before execution, through the session's plan cache.  Retries and
+restarts inside the resilient backend replay the already-compiled
+plan, so ``RunStats.plan_compiles`` counts each compile exactly once
+— the local backends report the per-run cache delta, the distributed
+backends report the rank-side tally from ``CommStats``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import replace
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.api.backends import (
+    Backend,
+    BackendUnsupported,
+    ExecutionContext,
+    get_backend,
+)
+from repro.api.builder import BuiltSchedule, ScheduleBuilder
+from repro.api.config import RunConfig
+from repro.api.stats import RunResult, RunStats, cache_delta
+from repro.stencils.grid import Grid
+from repro.stencils.spec import StencilSpec
+
+__all__ = ["Session", "run", "execute"]
+
+#: backends whose pooled task runners need the plan's per-group units
+#: materialised up front (lazy materialisation inside worker threads
+#: would race on the plan's internal cache)
+_POOLED_BACKENDS = ("threaded", "resilient")
+
+
+class Session:
+    """A stencil spec bound to a plan cache and a schedule builder."""
+
+    def __init__(self, spec: StencilSpec, *, cache=None,
+                 builder: Optional[ScheduleBuilder] = None):
+        self.spec = spec
+        if cache is None:
+            from repro.engine.cache import default_cache
+
+            cache = default_cache()
+        self.cache = cache
+        self.builder = builder or ScheduleBuilder()
+
+    # -- individual pipeline stages -----------------------------------
+
+    def default_shape(self) -> Tuple[int, ...]:
+        return self.builder.default_shape(self.spec)
+
+    def build(self, config: RunConfig,
+              shape: Optional[Tuple[int, ...]] = None) -> BuiltSchedule:
+        """Stage 1: RunConfig -> RegionSchedule (+ lattice)."""
+        return self.builder.build(self.spec, config.normalized(), shape)
+
+    def lower(self, schedule, params: Tuple = (), *,
+              batch_threshold: int = 4096, fuse: bool = True):
+        """Stage 2: RegionSchedule -> CompiledPlan, via the plan cache."""
+        return self.cache.get(self.spec, schedule, params=params,
+                              batch_threshold=batch_threshold, fuse=fuse)
+
+    # -- the pipeline -------------------------------------------------
+
+    def run(self, config: Optional[RunConfig] = None, *,
+            grid: Optional[Grid] = None, **overrides) -> RunResult:
+        """Run the full pipeline from a configuration."""
+        config = (config or RunConfig()).with_overrides(overrides)
+        return self._pipeline(config.normalized(), grid=grid)
+
+    def execute(self, grid: Grid, schedule=None, *,
+                config: Optional[RunConfig] = None, lattice=None,
+                plan=None, params: Optional[Tuple] = None,
+                **overrides) -> RunResult:
+        """Run prebuilt artifacts through a backend.
+
+        When ``schedule`` is given, its scheme/shape/steps override the
+        configuration's so the stats always describe what actually ran.
+        """
+        config = (config or RunConfig()).with_overrides(overrides)
+        return self._pipeline(config.normalized(), grid=grid,
+                              schedule=schedule, lattice=lattice,
+                              plan=plan, params=params)
+
+    # -- internals ----------------------------------------------------
+
+    def _pipeline(self, config: RunConfig, *, grid=None, schedule=None,
+                  lattice=None, plan=None,
+                  params: Optional[Tuple] = None) -> RunResult:
+        spec = self.spec
+        backend = get_backend(config.backend)
+        phases: Dict[str, float] = {}
+
+        if schedule is not None:
+            config = replace(config, scheme=schedule.scheme,
+                             shape=tuple(schedule.shape),
+                             steps=schedule.steps)
+        if plan is not None and schedule is None and backend.kind == "schedule":
+            config = replace(config, scheme=plan.scheme,
+                             shape=tuple(plan.shape), steps=plan.steps)
+
+        shape = config.shape
+        if shape is None:
+            shape = grid.shape if grid is not None else self.default_shape()
+            config = replace(config, shape=tuple(shape))
+
+        # build ---------------------------------------------------------
+        need_schedule = backend.kind == "schedule" and schedule is None \
+            and plan is None
+        need_lattice = backend.kind == "lattice" and lattice is None
+        if need_schedule or need_lattice:
+            t0 = time.perf_counter()
+            if need_schedule:
+                built = self.builder.build(spec, config, shape)
+                schedule, lattice = built.schedule, built.lattice
+                if params is None:
+                    params = built.params
+            else:
+                lattice = self.builder.lattice(spec, shape, config)
+            phases["build"] = time.perf_counter() - t0
+
+        reason = backend.supports(spec, config, schedule)
+        if reason is not None:
+            raise BackendUnsupported(backend.name, reason)
+
+        if grid is None:
+            grid = Grid(spec, tuple(shape), init="random", seed=config.seed)
+
+        # sanitize ------------------------------------------------------
+        sanitizer_report = None
+        if config.sanitize and backend.kind == "schedule" \
+                and schedule is not None:
+            from repro.runtime.sanitizer import sanitize_schedule
+
+            t0 = time.perf_counter()
+            sanitizer_report = sanitize_schedule(spec, schedule)
+            phases["sanitize"] = time.perf_counter() - t0
+            sanitizer_report.raise_if_violations()
+
+        # lower ---------------------------------------------------------
+        engine = self._resolve_engine(config, backend)
+        delta = None
+        if engine == "compiled" and plan is None:
+            t0 = time.perf_counter()
+            before = self.cache.stats.as_dict()
+            plan = self.lower(schedule,
+                              params if params is not None
+                              else config.tile_params())
+            delta = cache_delta(before, self.cache.stats.as_dict())
+            phases["lower"] = time.perf_counter() - t0
+        if plan is not None and backend.name in _POOLED_BACKENDS:
+            # materialise per-group units before any pool thread runs
+            for gi in range(len(plan.group_ids)):
+                plan.task_units(gi)
+
+        # execute -------------------------------------------------------
+        trace = config.trace
+        if trace is None and backend.name in ("resilient", "distributed",
+                                              "elastic"):
+            from repro.runtime.tracing import ExecutionTrace
+
+            trace = ExecutionTrace(scheme=config.scheme)
+        snapshot = grid.copy() if config.verify else None
+        ctx = ExecutionContext(spec=spec, grid=grid, config=config,
+                               schedule=schedule, lattice=lattice,
+                               plan=plan, trace=trace)
+        t0 = time.perf_counter()
+        outcome = backend.execute(ctx)
+        phases["execute"] = time.perf_counter() - t0
+
+        # verify --------------------------------------------------------
+        verified = None
+        if config.verify:
+            t0 = time.perf_counter()
+            verified = self._verify(snapshot, outcome.interior, config.steps)
+            phases["verify"] = time.perf_counter() - t0
+
+        stats = self._assemble_stats(config, backend, engine, schedule,
+                                     phases, trace, outcome, delta,
+                                     plan, verified)
+        return RunResult(interior=outcome.interior, stats=stats,
+                         config=config, grid=grid, schedule=schedule,
+                         lattice=lattice, plan=plan,
+                         sanitizer=sanitizer_report)
+
+    @staticmethod
+    def _resolve_engine(config: RunConfig, backend: Backend) -> str:
+        if config.engine == "auto":
+            return "compiled" if backend.name == "compiled" else "naive"
+        return config.engine
+
+    def _verify(self, snapshot: Grid, interior: np.ndarray,
+                steps: int) -> bool:
+        from repro.stencils.reference import reference_sweep
+
+        ref = reference_sweep(self.spec, snapshot, steps)
+        if np.issubdtype(self.spec.dtype, np.integer):
+            return bool(np.array_equal(ref, interior))
+        return bool(np.allclose(ref, interior, rtol=1e-11, atol=1e-12))
+
+    def _assemble_stats(self, config, backend, engine, schedule, phases,
+                        trace, outcome, delta, plan, verified) -> RunStats:
+        stats = RunStats(
+            backend=backend.name,
+            scheme=config.scheme,
+            engine=engine if plan is not None else "naive",
+            shape=tuple(config.shape or ()),
+            steps=config.steps,
+            phases=phases,
+            events=list(trace.events) if trace is not None else [],
+            comm=outcome.comm,
+            resilience=outcome.resilience,
+            cache=delta,
+            verified=verified,
+        )
+        if schedule is not None:
+            from repro.runtime.schedule import schedule_stats
+
+            stats.schedule = schedule_stats(schedule)
+        if outcome.comm is not None:
+            # rank-side compiles are the authoritative tally: the local
+            # cache never saw these plans
+            stats.plan_compiles = int(outcome.comm.plan_compiles)
+        elif delta is not None:
+            stats.plan_compiles = int(delta.misses)
+            stats.cache_hits = int(delta.hits)
+        return stats
+
+
+def run(spec: StencilSpec, config: Optional[RunConfig] = None,
+        **overrides) -> RunResult:
+    """One-shot pipeline run: ``run(spec, shape=..., backend=...)``."""
+    return Session(spec).run(config, **overrides)
+
+
+def execute(spec: StencilSpec, grid: Grid, schedule=None,
+            **kwargs) -> RunResult:
+    """One-shot execution of prebuilt artifacts (see Session.execute)."""
+    return Session(spec).execute(grid, schedule, **kwargs)

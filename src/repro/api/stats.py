@@ -1,0 +1,186 @@
+"""RunStats / RunResult — the one stats schema of the pipeline.
+
+Before the facade existed, three incompatible stats objects described
+an execution depending on which entry point ran it: trace events
+(:class:`~repro.runtime.tracing.ExecutionTrace`), the distributed
+:class:`~repro.distributed.exec.CommStats` and the engine's
+:class:`~repro.engine.cache.CacheStats` — plus the resilient executor's
+:class:`~repro.runtime.resilience.ResilienceReport`.  A
+:class:`RunStats` merges all four under one roof:
+
+* ``phases`` — wall-clock per pipeline phase (``build`` the schedule,
+  ``sanitize``, ``lower`` to a compiled plan, ``execute``, ``verify``);
+* ``schedule`` — the structural schedule statistics
+  (:func:`~repro.runtime.schedule.schedule_stats`);
+* ``events`` — the runtime event stream (retries, checkpoints,
+  restores, heartbeats, ...);
+* ``comm`` / ``resilience`` / ``cache`` — the family-specific counter
+  blocks, present when the backend produced them and ``None`` otherwise
+  (never zero-filled fakes);
+* ``plan_compiles`` / ``cache_hits`` — the **single** authoritative
+  compile/hit counters.  Local backends report the per-run plan-cache
+  delta; distributed backends report the rank-side compile tally.  A
+  resilient run that retries or restarts never double-counts: the plan
+  is compiled once, before execution, and every replay reuses it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["RunStats", "RunResult", "cache_delta"]
+
+
+def cache_delta(before: Dict[str, float], after: Dict[str, float]):
+    """Per-run CacheStats: counter difference of two snapshots."""
+    from repro.engine.cache import CacheStats
+
+    return CacheStats(**{k: type(v)(after[k] - before[k])
+                         for k, v in before.items()})
+
+
+@dataclass
+class RunStats:
+    """Unified statistics of one pipeline run (see module docstring)."""
+
+    backend: str = ""
+    scheme: str = ""
+    engine: str = "naive"
+    shape: Tuple[int, ...] = ()
+    steps: int = 0
+
+    #: seconds per pipeline phase: build/sanitize/lower/execute/verify
+    phases: Dict[str, float] = field(default_factory=dict)
+    #: structural schedule stats (tasks, groups, redundancy, ...)
+    schedule: Dict[str, Any] = field(default_factory=dict)
+    #: runtime event stream (RuntimeEvent objects)
+    events: List[Any] = field(default_factory=list)
+
+    #: distributed communication counters (None for local backends)
+    comm: Any = None
+    #: resilience counters (None unless the resilient backend ran)
+    resilience: Any = None
+    #: per-run plan-cache counter delta (None when no lowering ran)
+    cache: Any = None
+
+    #: plans compiled for this run, counted exactly once (see module
+    #: docstring for the double-counting rule)
+    plan_compiles: int = 0
+    #: plan-cache hits for this run
+    cache_hits: int = 0
+
+    #: result of the verify phase (None = verification not requested)
+    verified: Optional[bool] = None
+
+    # ----------------------------------------------------------------
+
+    @property
+    def execute_seconds(self) -> float:
+        return self.phases.get("execute", 0.0)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phases.values())
+
+    @property
+    def points(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= int(s)
+        return n * self.steps
+
+    @property
+    def mstencils_per_s(self) -> float:
+        secs = self.execute_seconds
+        return self.points / secs / 1e6 if secs > 0 else 0.0
+
+    def event_counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for e in self.events:
+            out[e.kind] = out.get(e.kind, 0) + 1
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Flat, JSON-friendly view of the full schema."""
+        out: Dict[str, Any] = {
+            "backend": self.backend,
+            "scheme": self.scheme,
+            "engine": self.engine,
+            "shape": list(self.shape),
+            "steps": self.steps,
+            "phases": dict(self.phases),
+            "schedule": dict(self.schedule),
+            "events": self.event_counts(),
+            "plan_compiles": self.plan_compiles,
+            "cache_hits": self.cache_hits,
+            "verified": self.verified,
+        }
+        for name in ("comm", "resilience", "cache"):
+            block = getattr(self, name)
+            if block is None:
+                out[name] = None
+            elif hasattr(block, "as_dict"):
+                out[name] = block.as_dict()
+            else:
+                out[name] = {
+                    k: v for k, v in vars(block).items()
+                    if isinstance(v, (int, float, str, bool))
+                }
+        return out
+
+    def describe(self) -> str:
+        """One-line human summary (the CLI's stats line)."""
+        bits = [f"backend={self.backend}", f"scheme={self.scheme}"]
+        if self.schedule:
+            bits.append(f"tasks={self.schedule.get('tasks', 0)}")
+            bits.append(f"barriers={self.schedule.get('groups', 0)}")
+        secs = self.execute_seconds
+        bits.append(f"execute={secs * 1e3:.1f}ms")
+        if self.plan_compiles or self.cache_hits:
+            bits.append(f"plan_compiles={self.plan_compiles}")
+            bits.append(f"cache_hits={self.cache_hits}")
+        if self.verified is not None:
+            bits.append(f"verified={'OK' if self.verified else 'MISMATCH'}")
+        return " ".join(bits)
+
+
+@dataclass
+class RunResult:
+    """What a pipeline run returns: the answer plus everything known.
+
+    ``interior`` is the grid interior at time ``steps`` — the same
+    array every legacy entry point used to return — and ``stats`` is
+    the unified :class:`RunStats`.  The intermediate pipeline artifacts
+    (schedule, lattice, compiled plan) ride along for inspection and
+    reuse.
+    """
+
+    interior: np.ndarray
+    stats: RunStats
+    config: Any = None  #: the normalised RunConfig that produced this
+    grid: Any = None
+    schedule: Any = None
+    lattice: Any = None
+    plan: Any = None
+    sanitizer: Any = None  #: SanitizerReport when the sanitize phase ran
+
+    # convenience views onto the stats blocks -------------------------
+
+    @property
+    def comm(self):
+        return self.stats.comm
+
+    @property
+    def resilience(self):
+        return self.stats.resilience
+
+    @property
+    def ok(self) -> bool:
+        """True when verification ran and matched (False if it failed;
+        raises if verification was not requested)."""
+        if self.stats.verified is None:
+            raise ValueError("run was not verified; pass verify=True")
+        return bool(self.stats.verified)

@@ -21,8 +21,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple, Union
 
-from repro.core.executor import make_lattice
-from repro.core.schedules import tess_schedule
 from repro.machine.model import SimResult, simulate
 from repro.machine.spec import MachineSpec
 from repro.stencils.spec import StencilSpec
@@ -87,23 +85,25 @@ def _evaluate(spec: StencilSpec, shape: Sequence[int], steps: int,
               core_widths: Sequence[int], merged: bool,
               objective: str = "simulate", cache=None,
               repeat: int = 3) -> Optional[TuneResult]:
+    from repro.api import RunConfig, Session
+
+    config = RunConfig(
+        scheme="tess" if merged else "tess-unmerged",
+        shape=tuple(int(n) for n in shape), steps=steps, b=b,
+        core_widths=tuple(int(w) for w in core_widths),
+    )
+    session = Session(spec, cache=cache)
     try:
-        lattice = make_lattice(spec, shape, b, core_widths=core_widths)
-        sched = tess_schedule(spec, tuple(int(n) for n in shape), lattice,
-                              steps, merged=merged)
+        built = session.build(config)
     except ValueError:
         return None
+    sched = built.schedule
     if not sched.tasks:
         return None
     if objective == "wallclock":
-        from repro.engine.cache import default_cache
         from repro.perf.wallclock import time_plan
 
-        if cache is None:
-            cache = default_cache()
-        plan = cache.get(spec, sched,
-                         params=(b, tuple(int(w) for w in core_widths),
-                                 bool(merged)))
+        plan = session.lower(sched, built.params)
         secs, _ = time_plan(plan, repeat=repeat, warmup=1)
         res: Union[SimResult, MeasuredResult] = MeasuredResult(
             time_s=secs, points=sched.total_points())

@@ -452,19 +452,17 @@ def ablation_tile_sensitivity(
 def validation_matrix(steps: int = 7) -> str:
     """Every scheme × every kernel, verified against the naive sweep.
 
-    The cross-product safety net behind all experiments: 9 schedule
-    generators × the 7 paper kernels, each checked bit-level (integer
-    kernels) or to fp tolerance on a small instance.
+    The cross-product safety net behind all experiments: every builder
+    scheme × the 7 paper kernels, each run through the unified pipeline
+    (:func:`repro.api.run` with ``verify=True``) and checked bit-level
+    (integer kernels) or to fp tolerance on a small instance.
     """
-    from repro.baselines import (
-        hexagonal_schedule, skewed_schedule,
-    )
-    from repro.runtime.schedule import verify_schedule
+    from repro.api import RunConfig, Session
 
     shapes = {1: (64,), 2: (22, 20), 3: (12, 11, 10)}
     kernels = ["heat1d", "1d5p", "heat2d", "2d9p", "life", "heat3d",
                "3d27p"]
-    schemes = ["tess", "tess-merged", "diamond", "pochoir", "mwd",
+    schemes = ["tess-unmerged", "tess", "diamond", "pochoir", "mwd",
                "hexagonal", "skewed", "overlapped", "naive"]
     headers = ["scheme"] + kernels
     rows = []
@@ -474,28 +472,11 @@ def validation_matrix(steps: int = 7) -> str:
             spec = get_stencil(kernel)
             shape = shapes[spec.ndim]
             b = 2 if spec.order > 1 else 3
-            if scheme in ("tess", "tess-merged"):
-                lat = make_lattice(spec, shape, b)
-                sched = tess_schedule(spec, shape, lat, steps,
-                                      merged=(scheme == "tess-merged"))
-            elif scheme == "diamond":
-                sched = diamond_schedule(spec, shape, b, steps)
-            elif scheme == "pochoir":
-                sched = trapezoid_schedule(spec, shape, steps, base_dt=2)
-            elif scheme == "mwd":
-                sched = mwd_schedule(spec, shape, b, steps, chunks=2)
-            elif scheme == "hexagonal":
-                sched = hexagonal_schedule(spec, shape, b, steps,
-                                           hex_width=3)
-            elif scheme == "skewed":
-                sched = skewed_schedule(spec, shape, steps,
-                                        max(4, spec.order))
-            elif scheme == "overlapped":
-                tile = tuple(max(4, n // 3) for n in shape)
-                sched = overlapped_schedule(spec, shape, steps, tile, 2)
-            else:
-                sched = naive_schedule(spec, shape, steps, chunks=3)
-            row.append("ok" if verify_schedule(spec, sched) else "FAIL")
+            backend = ("baseline:overlapped" if scheme == "overlapped"
+                       else "serial")
+            cfg = RunConfig(scheme=scheme, shape=shape, steps=steps,
+                            b=b, backend=backend, verify=True)
+            row.append("ok" if Session(spec).run(cfg).ok else "FAIL")
         rows.append(row)
     return format_table(headers, rows)
 

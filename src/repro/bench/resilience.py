@@ -18,8 +18,8 @@ from repro.bench.report import format_table
 from repro.core import make_lattice
 from repro.core.schedules import tess_schedule
 from repro.runtime.faults import FaultPlan, FaultSpec
-from repro.runtime.resilience import ResiliencePolicy, execute_resilient
-from repro.runtime.schedule import execute_schedule
+from repro.runtime.resilience import ResiliencePolicy, _execute_resilient
+from repro.runtime.schedule import _execute_schedule
 from repro.stencils.grid import Grid
 from repro.stencils.library import get_stencil
 
@@ -48,7 +48,7 @@ def resilience_overhead(
     groups = sched.num_groups
 
     base_s, _ = _time_run(
-        lambda: execute_schedule(spec, Grid(spec, shape, seed=0), sched),
+        lambda: _execute_schedule(spec, Grid(spec, shape, seed=0), sched),
         repeats)
 
     # a transient crash in the last group maximises replay distance
@@ -58,13 +58,13 @@ def resilience_overhead(
         policy = ResiliencePolicy(checkpoint_interval=cadence)
 
         clean_s, (out, rep) = _time_run(
-            lambda: execute_resilient(
+            lambda: _execute_resilient(
                 spec, Grid(spec, shape, seed=0), sched, policy=policy),
             repeats)
 
         def faulty():
             plan = FaultPlan([FaultSpec("corrupt", group=late, task=0)])
-            return execute_resilient(
+            return _execute_resilient(
                 spec, Grid(spec, shape, seed=0), sched, policy=policy,
                 fault_plan=plan)
 

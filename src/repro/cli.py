@@ -1,20 +1,29 @@
 """Command-line interface: ``python -m repro <command> ...``.
 
+Every command routes through the unified pipeline in :mod:`repro.api`
+(``Session``/``RunConfig``/backend registry — see
+``docs/architecture.md``).
+
 Commands
 --------
 * ``run``    — execute a kernel with a chosen tiling scheme, verify
   against the naive sweep and report wall-clock + schedule stats;
-  ``--engine compiled`` runs the cached compiled plan
-  (:mod:`repro.engine`) instead of the naive schedule walker;
+  ``--backend`` picks the executor explicitly (default ``auto``
+  resolves it from the other flags), ``--engine compiled`` lowers the
+  schedule to a cached compiled plan (:mod:`repro.engine`) instead of
+  walking it action by action;
 * ``show``   — render the space-time diagram of a 1D schedule
   (the paper's Figure 1, in ASCII);
-* ``tune``   — auto-tune tessellation tile sizes on the simulated
-  machine;
+* ``tune``   — auto-tune tessellation tile sizes; ``--engine naive``
+  scores on the simulated machine, ``--engine compiled`` times each
+  candidate's compiled plan (``--objective simulate|wallclock`` is the
+  historical spelling, kept as a hidden alias);
 * ``dist``   — §4.1: verified multi-rank execution plus an α–β
-  cluster strong-scaling estimate; ``--procs N`` runs the elastic
-  *process* runtime (real rank processes, heartbeats, checksummed
-  exchanges, rank-crash recovery — see ``docs/distributed.md``)
-  instead of the in-process simulator;
+  cluster strong-scaling estimate; ``--backend distributed`` (default)
+  is the in-process simulator, ``--backend elastic`` the real rank
+  processes (heartbeats, checksummed exchanges, crash recovery — see
+  ``docs/distributed.md``); ``--procs N`` is the historical spelling
+  of ``--backend elastic --ranks N``, kept as a hidden alias;
 * ``table``  — print the paper's Table 1 for a given dimension;
 * ``bench``  — forward to :mod:`repro.bench` (regenerate figures);
 * ``sanitize`` — structural schedule sanitizer: prove tessellation,
@@ -42,8 +51,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
-
+from repro.api.builder import SCHEMES
 from repro.runtime.errors import (
     EXIT_CHECKSUM,
     EXIT_EXCHANGE_TIMEOUT,
@@ -60,9 +68,7 @@ from repro.runtime.errors import (
     SanitizerViolation,
 )
 
-#: schemes the CLI can build a RegionSchedule for
-SCHEMES = ["naive", "spatial", "tess", "tess-unmerged", "diamond",
-           "pochoir", "mwd", "skewed", "hexagonal", "overlapped"]
+__all__ = ["main", "SCHEMES"]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -82,6 +88,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="time-tile depth b")
     run.add_argument("--threads", type=int, default=1)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--backend", default="auto", metavar="NAME",
+                     help="executor backend (serial|threaded|resilient|"
+                     "compiled|baseline:*); 'auto' resolves from "
+                     "--threads/--resilient/--inject/--engine")
     run.add_argument("--engine", default="naive",
                      choices=["naive", "compiled"],
                      help="execution engine: 'naive' walks the schedule "
@@ -110,11 +120,15 @@ def _build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--shape", type=int, nargs="+", default=None)
     tune.add_argument("--steps", type=int, default=32)
     tune.add_argument("--cores", type=int, default=24)
-    tune.add_argument("--objective", default="simulate",
-                      choices=["simulate", "wallclock"],
-                      help="'simulate' scores on the machine model; "
-                      "'wallclock' times each candidate's compiled plan "
+    tune.add_argument("--engine", default=None,
+                      choices=["naive", "compiled"],
+                      help="'naive' scores on the machine model; "
+                      "'compiled' times each candidate's compiled plan "
                       "(probes share the plan cache)")
+    # historical spelling of --engine, kept as a hidden alias
+    tune.add_argument("--objective", default=None,
+                      choices=["simulate", "wallclock"],
+                      help=argparse.SUPPRESS)
     tune.add_argument("--repeat", type=int, default=3,
                       help="min-of-k repeats per wallclock probe")
 
@@ -123,20 +137,25 @@ def _build_parser() -> argparse.ArgumentParser:
     dist.add_argument("--shape", type=int, nargs="+", default=None)
     dist.add_argument("--steps", type=int, default=16)
     dist.add_argument("-b", "--depth", type=int, default=4)
+    dist.add_argument("--backend", default="distributed", metavar="NAME",
+                      help="'distributed' = in-process rank simulator "
+                      "(default); 'elastic' = real rank processes with "
+                      "heartbeats, checksummed exchanges and crash "
+                      "recovery")
     dist.add_argument("--ranks", type=int, default=4)
     dist.add_argument("--nodes", type=int, nargs="+", default=[1, 2, 4, 8])
+    # historical spelling of --backend elastic --ranks N, hidden alias
     dist.add_argument("--procs", type=int, default=None, metavar="N",
-                      help="run the elastic process runtime with N real "
-                      "rank processes (heartbeats, checksummed exchanges, "
-                      "crash recovery) instead of the in-process simulator")
+                      help=argparse.SUPPRESS)
     dist.add_argument("--heartbeat-ms", type=float, default=20.0,
-                      help="worker heartbeat period in --procs mode "
-                      "(default 20 ms)")
+                      help="worker heartbeat period for the elastic "
+                      "backend (default 20 ms)")
     dist.add_argument("--max-retries", type=int, default=3,
-                      help="per-message retransmit budget in --procs mode")
+                      help="per-message retransmit budget for the "
+                      "elastic backend")
     dist.add_argument("--max-respawns", type=int, default=2,
-                      help="per-rank respawn budget in --procs "
-                      "--resilient mode")
+                      help="per-rank respawn budget for the elastic "
+                      "backend in --resilient mode")
     _add_resilience_args(dist)
     dist.add_argument("--ghost", type=int, default=None,
                       help="override the exchanged ghost-band width "
@@ -199,7 +218,7 @@ def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
                      "kind@group[/task][xN], kind in "
                      "crash|corrupt|stall|drop|garble (shared-memory / "
                      "simulated paths) or kill_rank|stall_rank|drop_msg|"
-                     "flip_bits (process runtime, --procs) (repeatable)")
+                     "flip_bits (elastic process runtime) (repeatable)")
 
 
 def _add_sanitizer_args(sub: argparse.ArgumentParser) -> None:
@@ -219,147 +238,106 @@ def _fault_plan(args):
     return FaultPlan.parse(args.inject) if args.inject else None
 
 
-def _apply_mutations(sched, specs):
-    from repro.runtime.mutations import apply_mutation
-
-    for spec_str in specs:
-        sched = apply_mutation(sched, spec_str)
-    return sched
-
-
-def _default_shape(spec) -> tuple:
-    return {1: (20_000,), 2: (256, 256), 3: (48, 48, 48)}[spec.ndim]
-
-
 def _build_schedule(spec, shape, steps, scheme, b):
-    from repro.baselines import (
-        diamond_schedule, hexagonal_schedule, mwd_schedule, naive_schedule,
-        overlapped_schedule, skewed_schedule, spatial_schedule,
-        trapezoid_schedule,
-    )
-    from repro.core import make_lattice
-    from repro.core.schedules import tess_schedule
-    from repro.runtime import levelize
+    """Deprecated shim: schedule construction lives in the pipeline's
+    :class:`~repro.api.builder.ScheduleBuilder` now."""
+    from repro.api import RunConfig, ScheduleBuilder
 
-    shape = tuple(int(n) for n in shape)
-    if any(n == 0 for n in shape):
-        # empty interior: every scheme degenerates to an empty schedule
-        # (the lattice builders cannot even represent a 0-cell axis)
-        from repro.runtime import RegionSchedule
+    cfg = RunConfig(scheme=scheme, shape=tuple(shape), steps=steps, b=b)
+    return ScheduleBuilder().build(spec, cfg.normalized()).schedule
 
-        return RegionSchedule(scheme=scheme, shape=shape, steps=steps)
-    if scheme == "naive":
-        return naive_schedule(spec, shape, steps, chunks=8)
-    if scheme == "spatial":
-        tile = tuple(max(4, n // 8) for n in shape)
-        return spatial_schedule(spec, shape, steps, tile)
-    if scheme in ("tess", "tess-unmerged"):
-        lat = make_lattice(spec, shape, b)
-        return tess_schedule(spec, shape, lat, steps,
-                             merged=(scheme == "tess"))
-    if scheme == "diamond":
-        return diamond_schedule(spec, shape, b, steps)
-    if scheme == "pochoir":
-        return levelize(spec, trapezoid_schedule(spec, shape, steps,
-                                                 base_dt=max(2, b // 2)))
-    if scheme == "mwd":
-        return mwd_schedule(spec, shape, b, steps)
-    if scheme == "skewed":
-        width = max(spec.slopes[0], max(4, shape[0] // 8))
-        return skewed_schedule(spec, shape, steps, width)
-    if scheme == "hexagonal":
-        return hexagonal_schedule(spec, shape, b, steps,
-                                  hex_width=max(b, 2))
-    if scheme == "overlapped":
-        tile = tuple(max(4, n // 8) for n in shape)
-        return overlapped_schedule(spec, shape, steps, tile, max(1, b // 2))
-    raise ValueError(scheme)
+
+def _resolve_run_backend(args, config, sched, fault_plan) -> str:
+    """Replicate the historical executor precedence for ``--backend auto``.
+
+    Injection/resilience wins (the resilient executor subsumes
+    fail-fast via a zero-budget policy), then the thread pool, then the
+    compiled engine; ghost-zone (private-task) schedules fall through
+    to the overlapped executor, everything else to the sequential
+    walker.
+    """
+    from repro.api import normalize_backend
+
+    backend = normalize_backend(args.backend)
+    if backend != "auto":
+        return backend
+    if ((args.resilient or fault_plan is not None)
+            and not sched.private_tasks):
+        return "resilient"
+    if args.threads > 1 and not sched.private_tasks:
+        return "threaded"
+    if config.engine == "compiled":
+        return "compiled"
+    if sched.private_tasks:
+        return "baseline:overlapped"
+    return "serial"
 
 
 def cmd_run(args) -> int:
-    import time as _time
-
-    from repro import Grid, get_stencil, reference_sweep
-    from repro.perf import time_schedule
-    from repro.runtime import (
-        ResiliencePolicy, execute_resilient, execute_threaded,
-        schedule_stats,
-    )
+    from repro import get_stencil
+    from repro.api import RunConfig, Session
+    from repro.runtime import ResiliencePolicy, schedule_stats
 
     spec = get_stencil(args.kernel)
-    shape = tuple(args.shape) if args.shape else _default_shape(spec)
-    sched = _build_schedule(spec, shape, args.steps, args.scheme, args.depth)
+    fault_plan = _fault_plan(args)
+    config = RunConfig(
+        shape=tuple(args.shape) if args.shape else None,
+        steps=args.steps, seed=args.seed,
+        scheme=args.scheme, b=args.depth,
+        mutations=tuple(args.mutate),
+        engine=args.engine, threads=args.threads,
+        sanitize=args.sanitize, verify=True,
+        fault_plan=fault_plan,
+    ).normalized()
+    session = Session(spec)
+    shape = config.shape or session.default_shape()
+
     if args.mutate:
         print(f"mutating: {', '.join(args.mutate)}")
-        sched = _apply_mutations(sched, args.mutate)
+    built = session.build(config, shape)
+    sched = built.schedule
     st = schedule_stats(sched)
     print(spec.describe())
     print(f"scheme={args.scheme} shape={shape} steps={args.steps} "
           f"b={args.depth}")
     print(f"tasks={st['tasks']} barriers={st['groups']} "
           f"redundancy={st['redundancy'] * 100:.1f}%")
-    if args.sanitize:
-        from repro.runtime import sanitize_schedule
 
-        report = sanitize_schedule(spec, sched)
-        print(f"sanitizer: {report.describe()}")
-        report.raise_if_violations()
-    compiled = None
-    if args.engine == "compiled":
-        from repro.engine.cache import default_cache
-
-        cache = default_cache()
-        # mutated schedules get their own cache identity — the base
-        # key is (spec, shape, steps, scheme, params) and a mutation
-        # changes the schedule without changing any of those
-        compiled = cache.get(spec, sched,
-                             params=(args.depth, *args.mutate))
-        print(f"engine: compiled — {compiled.stats.describe()}")
-    plan = _fault_plan(args)
-    if (args.resilient or plan is not None) and not sched.private_tasks:
+    backend = _resolve_run_backend(args, config, sched, fault_plan)
+    overrides = {"backend": backend}
+    if backend == "compiled":
+        overrides["engine"] = "compiled"
+    if backend == "resilient":
         if args.resilient:
-            policy = ResiliencePolicy(
+            overrides["resilience"] = ResiliencePolicy(
                 max_task_retries=args.retries,
                 checkpoint_interval=args.checkpoint_every,
             )
         else:
             # fail-fast with injection: no retries, no restarts — the
             # guards still turn silent corruption into a loud exit 4
-            policy = ResiliencePolicy(max_task_retries=0,
-                                      max_group_restarts=0,
-                                      checkpoint_interval=0)
-        if plan is not None:
-            print(f"injecting: {plan.describe()}")
-        g = Grid(spec, shape, seed=args.seed)
-        t0 = _time.perf_counter()
-        out, report = execute_resilient(
-            spec, g, sched, policy=policy, fault_plan=plan,
-            num_threads=args.threads, plan=compiled,
-        )
-        secs = _time.perf_counter() - t0
-        print(f"resilience: {report.describe()}")
-    elif args.threads > 1 and not sched.private_tasks:
-        g = Grid(spec, shape, seed=args.seed)
-        t0 = _time.perf_counter()
-        out = execute_threaded(spec, g, sched, num_threads=args.threads,
-                               plan=compiled)
-        secs = _time.perf_counter() - t0
-    elif compiled is not None:
-        from repro.perf.wallclock import time_plan
+            overrides["resilience"] = ResiliencePolicy(
+                max_task_retries=0, max_group_restarts=0,
+                checkpoint_interval=0)
+        if fault_plan is not None:
+            print(f"injecting: {fault_plan.describe()}")
+    config = config.with_overrides(overrides)
 
-        g = Grid(spec, shape, seed=args.seed)
-        secs, out = time_plan(compiled, g)
-    else:
-        secs, out = time_schedule(spec, sched, seed=args.seed)
-    g_ref = Grid(spec, shape, seed=args.seed)
-    ref = reference_sweep(spec, g_ref, args.steps)
+    result = session.execute(None, sched, config=config,
+                             lattice=built.lattice, params=built.params)
+    stats = result.stats
+    if args.sanitize and result.sanitizer is not None:
+        print(f"sanitizer: {result.sanitizer.describe()}")
+    if result.plan is not None and stats.engine == "compiled":
+        print(f"engine: compiled — {result.plan.stats.describe()}")
+    if stats.resilience is not None:
+        print(f"resilience: {stats.resilience.describe()}")
+    secs = stats.phases.get("execute", 0.0)
     pts = 1
     for n in shape:
         pts *= n
-    ok = (np.array_equal(ref, out)
-          if np.issubdtype(spec.dtype, np.integer)
-          else np.allclose(ref, out, rtol=1e-11, atol=1e-12))
-    rate = pts * args.steps / secs / 1e6
+    ok = bool(stats.verified)
+    rate = pts * args.steps / secs / 1e6 if secs > 0 else 0.0
     print(f"wall clock: {secs * 1e3:.1f} ms  ({rate:.1f} MStencil/s)")
     print(f"verified against naive sweep: {'OK' if ok else 'MISMATCH'}")
     return 0 if ok else 1
@@ -380,16 +358,24 @@ def cmd_show(args) -> int:
 
 def cmd_tune(args) -> int:
     from repro import get_stencil
+    from repro.api import ScheduleBuilder
     from repro.autotune import tune_tessellation
     from repro.machine import paper_machine
 
     spec = get_stencil(args.kernel)
-    shape = tuple(args.shape) if args.shape else _default_shape(spec)
+    shape = (tuple(args.shape) if args.shape
+             else ScheduleBuilder().default_shape(spec))
+    # --objective is the historical spelling; the canonical --engine
+    # maps naive -> simulate, compiled -> wallclock
+    objective = args.objective
+    if objective is None:
+        objective = ("wallclock" if args.engine == "compiled"
+                     else "simulate")
     machine = paper_machine().scaled_caches(0.05)
     best = tune_tessellation(spec, shape, args.steps, machine, args.cores,
-                             objective=args.objective, repeat=args.repeat)
+                             objective=objective, repeat=args.repeat)
     print(f"best configuration: {best.describe()}")
-    if args.objective == "wallclock":
+    if objective == "wallclock":
         from repro.engine.cache import default_cache
 
         st = default_cache().stats
@@ -399,68 +385,73 @@ def cmd_tune(args) -> int:
 
 
 def cmd_dist(args) -> int:
-    import numpy as np
-
-    from repro import Grid, get_stencil, make_lattice, reference_sweep
+    from repro import get_stencil
+    from repro.api import RunConfig, Session, normalize_backend
     from repro.bench.report import format_table
-    from repro.distributed import (
-        ClusterSpec, execute_distributed, simulate_distributed,
-    )
+    from repro.distributed import ClusterSpec, simulate_distributed
     from repro.machine import paper_machine
 
     spec = get_stencil(args.kernel)
     shape = tuple(args.shape) if args.shape else {
         1: (400,), 2: (64, 64), 3: (20, 20, 20)
     }[spec.ndim]
-    lat = make_lattice(spec, shape, args.depth)
-    g = Grid(spec, shape, seed=0)
-    ref = reference_sweep(spec, g.copy(), args.steps)
-    plan = _fault_plan(args)
-    if plan is not None:
-        print(f"injecting: {plan.describe()}")
+    backend = normalize_backend(args.backend)
     if args.procs is not None:
-        from repro.distributed import ElasticConfig, RetryPolicy
-        from repro.distributed.elastic import execute_elastic
+        backend = "elastic"
+    if backend not in ("distributed", "elastic"):
+        raise ValueError(
+            f"dist runs backend 'distributed' or 'elastic', got "
+            f"{backend!r}"
+        )
+    fault_plan = _fault_plan(args)
+    if fault_plan is not None:
+        print(f"injecting: {fault_plan.describe()}")
 
-        ranks = args.procs
+    config = RunConfig(
+        shape=shape, steps=args.steps, scheme="tess", b=args.depth,
+        backend=backend, verify=True, sanitize=args.sanitize,
+        fault_plan=fault_plan, ghost=args.ghost,
+    )
+    if backend == "elastic":
+        from repro.distributed import ElasticConfig, RetryPolicy
+
+        ranks = args.procs if args.procs is not None else args.ranks
         # without --resilient, every recovery budget is zero: the first
         # rank loss / exhausted exchange dies with its typed exit code
-        config = ElasticConfig(
-            heartbeat_s=args.heartbeat_ms / 1e3,
-            heartbeat_timeout_s=max(1.0, 50 * args.heartbeat_ms / 1e3),
-            retry=RetryPolicy(max_retries=args.max_retries),
-            max_respawns=args.max_respawns if args.resilient else 0,
-            max_phase_restarts=4 if args.resilient else 0,
-        )
-        out, stats = execute_elastic(
-            spec, g.copy(), lat, args.steps, ranks,
-            fault_plan=plan, config=config,
-            ghost_override=args.ghost, sanitize=args.sanitize,
-        )
+        config = config.with_overrides({
+            "ranks": ranks,
+            "elastic": ElasticConfig(
+                heartbeat_s=args.heartbeat_ms / 1e3,
+                heartbeat_timeout_s=max(1.0, 50 * args.heartbeat_ms / 1e3),
+                retry=RetryPolicy(max_retries=args.max_retries),
+                max_respawns=args.max_respawns if args.resilient else 0,
+                max_phase_restarts=4 if args.resilient else 0,
+            ),
+        })
         kind = "rank process(es)"
     else:
+        from repro.runtime import ResiliencePolicy
+
         ranks = args.ranks
-        out, stats = execute_distributed(
-            spec, g.copy(), lat, args.steps, ranks,
-            fault_plan=plan,
-            check_divergence=args.check_divergence or args.resilient,
-            resilient=args.resilient,
-            ghost_override=args.ghost,
-            sanitize=args.sanitize,
-        )
+        config = config.with_overrides({
+            "ranks": ranks,
+            "check_divergence": args.check_divergence,
+            "resilience": ResiliencePolicy() if args.resilient else None,
+        })
         kind = "simulated ranks"
-    ok = (np.array_equal(ref, out)
-          if np.issubdtype(spec.dtype, np.integer)
-          else np.allclose(ref, out, rtol=1e-11, atol=1e-12))
+
+    result = Session(spec).run(config)
+    comm = result.stats.comm
+    ok = bool(result.stats.verified)
     print(f"{ranks} {kind} on {shape}: "
           f"{'verified OK' if ok else 'MISMATCH'}; "
-          f"{stats.messages} messages, {stats.bytes_sent} bytes")
-    if stats.had_faults:
-        print(f"resilience: {stats.describe_resilience()}")
+          f"{comm.messages} messages, {comm.bytes_sent} bytes")
+    if comm.had_faults:
+        print(f"resilience: {comm.describe_resilience()}")
     rows = []
     base = None
     for n in args.nodes:
-        r = simulate_distributed(spec, shape, lat, args.steps,
+        r = simulate_distributed(spec, shape, result.lattice, args.steps,
                                  ClusterSpec(n, paper_machine()))
         base = base or r.time_s
         rows.append([n, f"{r.gstencils:.2f}",
@@ -473,6 +464,7 @@ def cmd_dist(args) -> int:
 
 def cmd_sanitize(args) -> int:
     from repro import get_stencil, make_lattice
+    from repro.api import RunConfig, Session
     from repro.runtime import sanitize_distributed_plan, sanitize_schedule
 
     spec = get_stencil(args.kernel)
@@ -493,12 +485,12 @@ def cmd_sanitize(args) -> int:
         reports = [("tess-distributed", report)]
     else:
         schemes = SCHEMES if args.scheme == "all" else [args.scheme]
+        session = Session(spec)
         reports = []
         for scheme in schemes:
-            sched = _build_schedule(spec, shape, args.steps, scheme,
-                                    args.depth)
-            if args.mutate:
-                sched = _apply_mutations(sched, args.mutate)
+            cfg = RunConfig(scheme=scheme, shape=shape, steps=args.steps,
+                            b=args.depth, mutations=tuple(args.mutate))
+            sched = session.build(cfg).schedule
             reports.append((scheme, sanitize_schedule(spec, sched)))
 
     worst = None

@@ -108,7 +108,25 @@ def _apply_block_steps(
     return points
 
 
-def run_blocked(
+def _run_stage(
+    spec: StencilSpec,
+    grid: Grid,
+    blocks: Sequence[TessBlock],
+    kind: str,
+    b: int,
+    slopes: Sequence[int],
+    tt: int,
+    span: int,
+    on_block: Optional[BlockHook],
+) -> None:
+    """Run one stage's blocks for phase ``tt`` (the shared stage body)."""
+    for block in blocks:
+        n = _apply_block_steps(spec, grid, block, b, slopes, tt, span)
+        if on_block is not None:
+            on_block(kind, tt, block, n)
+
+
+def _run_blocked(
     spec: StencilSpec,
     grid: Grid,
     lattice: TessLattice,
@@ -118,10 +136,9 @@ def run_blocked(
     on_block: Optional[BlockHook] = None,
     validate: bool = True,
 ) -> np.ndarray:
-    """Advance ``grid`` by ``steps`` with the unmerged block schedule.
+    """Unmerged block walk (the ``baseline:blocked`` backend's engine)."""
+    from repro.api.driver import phase_windows
 
-    Returns the interior view at time ``t0 + steps``.
-    """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
     if spec.is_periodic:
@@ -137,18 +154,40 @@ def run_blocked(
     b = lattice.b
     slopes = _lattice_slopes(lattice)
     t_end = t0 + steps
-    tt = t0
-    while tt < t_end:
-        span = min(b, t_end - tt)
+    for tt, span in phase_windows(t0, t_end, b):
         for stage_plan in plan.stages:
-            for block in stage_plan.blocks:
-                n = _apply_block_steps(
-                    spec, grid, block, b, slopes, tt, span
-                )
-                if on_block is not None:
-                    on_block(f"stage{stage_plan.stage}", tt, block, n)
-        tt += b
+            _run_stage(spec, grid, stage_plan.blocks,
+                       f"stage{stage_plan.stage}", b, slopes, tt, span,
+                       on_block)
     return grid.interior(t_end)
+
+
+def run_blocked(
+    spec: StencilSpec,
+    grid: Grid,
+    lattice: TessLattice,
+    steps: int,
+    t0: int = 0,
+    plan: Optional[PhasePlan] = None,
+    on_block: Optional[BlockHook] = None,
+    validate: bool = True,
+) -> np.ndarray:
+    """Advance ``grid`` by ``steps`` with the unmerged block schedule.
+
+    Returns the interior view at time ``t0 + steps``.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="baseline:blocked"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("run_blocked", "repro.api.run(backend='baseline:blocked')")
+    config = RunConfig(backend="baseline:blocked", engine="naive",
+                       scheme="tess-unmerged", steps=steps,
+                       options={"t0": t0, "phase_plan": plan,
+                                "on_block": on_block, "validate": validate})
+    result = Session(spec).execute(grid, config=config, lattice=lattice)
+    return result.interior
 
 
 def _merged_bases(lattice: TessLattice) -> List[Tuple[Tuple[int, int], ...]]:
@@ -159,7 +198,7 @@ def _merged_bases(lattice: TessLattice) -> List[Tuple[Tuple[int, int], ...]]:
     return [tuple(base) for base in itertools.product(*plats)]
 
 
-def run_merged(
+def _run_merged(
     spec: StencilSpec,
     grid: Grid,
     lattice: TessLattice,
@@ -168,12 +207,9 @@ def run_merged(
     on_block: Optional[BlockHook] = None,
     validate: bool = True,
 ) -> np.ndarray:
-    """Advance ``grid`` with the §4.3 merged (``B_d``+``B_0``) schedule.
+    """Merged block walk (the ``baseline:merged`` backend's engine)."""
+    from repro.api.driver import phase_windows
 
-    Uses two alternating lattice levels; requires the lattice to
-    satisfy the merging condition (plateau width == core width), which
-    :func:`make_lattice` guarantees by default.
-    """
     if steps < 0:
         raise ValueError(f"steps must be >= 0, got {steps}")
     if spec.is_periodic:
@@ -202,24 +238,18 @@ def run_merged(
     # prologue: the very first lowest stage runs unmerged
     span0 = min(b, t_end - t0)
     if span0 > 0:
-        for block in plans[0].stages[omin].blocks:
-            n = _apply_block_steps(spec, grid, block, b, slopes, t0, span0)
-            if on_block is not None:
-                on_block(f"stage{omin}", t0, block, n)
+        _run_stage(spec, grid, plans[0].stages[omin].blocks,
+                   f"stage{omin}", b, slopes, t0, span0, on_block)
 
     level = 0
-    tt = t0
-    while tt < t_end:
-        span = min(b, t_end - tt)
+    for tt, span in phase_windows(t0, t_end, b):
         span_next = min(b, max(0, t_end - tt - b))
         cur = levels[level]
-        nxt = levels[1 - level]
         # interior stages between the merge endpoints
         for stage_plan in plans[level].stages[omin + 1:d]:
-            for block in stage_plan.blocks:
-                n = _apply_block_steps(spec, grid, block, b, slopes, tt, span)
-                if on_block is not None:
-                    on_block(f"stage{stage_plan.stage}", tt, block, n)
+            _run_stage(spec, grid, stage_plan.blocks,
+                       f"stage{stage_plan.stage}", b, slopes, tt, span,
+                       on_block)
         # merged stage: B_d of this phase + B_0 of the next, same base
         all_dims = tuple(range(d))
         for base in _merged_bases(cur):
@@ -233,5 +263,33 @@ def run_merged(
             if on_block is not None:
                 on_block("merged", tt, bd, n)
         level = 1 - level
-        tt += b
     return grid.interior(t_end)
+
+
+def run_merged(
+    spec: StencilSpec,
+    grid: Grid,
+    lattice: TessLattice,
+    steps: int,
+    t0: int = 0,
+    on_block: Optional[BlockHook] = None,
+    validate: bool = True,
+) -> np.ndarray:
+    """Advance ``grid`` with the §4.3 merged (``B_d``+``B_0``) schedule.
+
+    Uses two alternating lattice levels; requires the lattice to
+    satisfy the merging condition (plateau width == core width), which
+    :func:`make_lattice` guarantees by default.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="baseline:merged"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("run_merged", "repro.api.run(backend='baseline:merged')")
+    config = RunConfig(backend="baseline:merged", engine="naive",
+                       scheme="tess", steps=steps,
+                       options={"t0": t0, "on_block": on_block,
+                                "validate": validate})
+    result = Session(spec).execute(grid, config=config, lattice=lattice)
+    return result.interior

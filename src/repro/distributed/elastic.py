@@ -499,7 +499,7 @@ class _Coordinator:
         shutil.rmtree(self.ckpt_dir, ignore_errors=True)
 
 
-def execute_elastic(
+def _execute_elastic(
     spec: StencilSpec,
     grid: Grid,
     lattice: TessLattice,
@@ -513,7 +513,7 @@ def execute_elastic(
     trace: Optional[ExecutionTrace] = None,
     sanitize: bool = False,
 ) -> Tuple[np.ndarray, CommStats]:
-    """Run ``steps`` tessellated steps across ``ranks`` OS processes.
+    """Process-based execution (the ``elastic`` backend's engine).
 
     The process analogue of :func:`~repro.distributed.exec
     .execute_distributed` — same slab partition, same block→rank
@@ -549,3 +549,40 @@ def execute_elastic(
         return coord.run()
     finally:
         coord.shutdown()
+
+
+def execute_elastic(
+    spec: StencilSpec,
+    grid: Grid,
+    lattice: TessLattice,
+    steps: int,
+    ranks: int,
+    axis: int = 0,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    config: Optional[ElasticConfig] = None,
+    ghost_override: Optional[int] = None,
+    trace: Optional[ExecutionTrace] = None,
+    sanitize: bool = False,
+) -> Tuple[np.ndarray, CommStats]:
+    """Run ``steps`` tessellated steps across ``ranks`` OS processes.
+
+    The process analogue of the ``distributed`` backend — same slab
+    partition, same block->rank ownership, same assembled-interior
+    return value — but with real rank processes, checksummed message
+    exchanges and the elastic failure model of :class:`ElasticConfig`.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="elastic"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("execute_elastic", "repro.api.run(backend='elastic')")
+    run_config = RunConfig(
+        backend="elastic", engine="naive", scheme="tess", steps=steps,
+        ranks=ranks, axis=axis, fault_plan=fault_plan, elastic=config,
+        ghost=ghost_override, trace=trace, sanitize=sanitize,
+    )
+    result = Session(spec).execute(grid, config=run_config,
+                                   lattice=lattice)
+    return result.interior, result.stats.comm

@@ -114,7 +114,7 @@ class CommStats:
                     or self.respawns or self.phase_restarts)
 
 
-def execute_distributed(
+def _execute_distributed(
     spec: StencilSpec,
     grid: Grid,
     lattice: TessLattice,
@@ -130,7 +130,7 @@ def execute_distributed(
     trace: Optional[ExecutionTrace] = None,
     sanitize: bool = False,
 ) -> Tuple[np.ndarray, CommStats]:
-    """Run ``steps`` tessellated steps across ``ranks`` simulated ranks.
+    """Rank simulation (the ``distributed`` backend's engine).
 
     Returns the assembled interior at time ``steps`` plus the
     communication statistics.  Dirichlet boundaries only (like the
@@ -281,10 +281,10 @@ def execute_distributed(
             if bad:
                 raise GhostDivergenceError(stage_idx, r, r + 1, bad)
 
+    from repro.api.driver import phase_windows
+
     stage_counter = 0
-    tt = 0
-    while tt < steps:
-        span = min(b, steps - tt)
+    for tt, span in phase_windows(0, steps, b):
         phase_ckpt = (
             [[buf.copy() for buf in bufs] for bufs in locals_]
             if resilient else None
@@ -331,7 +331,6 @@ def execute_distributed(
                         detail=f"phase replay at t={tt} "
                                f"(attempt {attempts + 1})")
         stage_counter += len(plan.stages)
-        tt += b
 
     # assemble: each rank contributes its own slab at the final time
     out = np.zeros(grid.shape, dtype=spec.dtype)
@@ -340,3 +339,43 @@ def execute_distributed(
         sl[axis] = slice(lo, hi)
         out[tuple(sl)] = locals_[r][steps % 2][interior][tuple(sl)]
     return out, stats
+
+
+def execute_distributed(
+    spec: StencilSpec,
+    grid: Grid,
+    lattice: TessLattice,
+    steps: int,
+    ranks: int,
+    axis: int = 0,
+    *,
+    fault_plan: Optional[FaultPlan] = None,
+    check_divergence: bool = False,
+    resilient: bool = False,
+    max_phase_restarts: int = 2,
+    ghost_override: Optional[int] = None,
+    trace: Optional[ExecutionTrace] = None,
+    sanitize: bool = False,
+) -> Tuple[np.ndarray, CommStats]:
+    """Run ``steps`` tessellated steps across ``ranks`` simulated ranks.
+
+    Returns ``(assembled interior at time steps, CommStats)``.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="distributed"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+    from repro.runtime.resilience import ResiliencePolicy
+
+    warn_legacy("execute_distributed",
+                "repro.api.run(backend='distributed')")
+    config = RunConfig(
+        backend="distributed", engine="naive", scheme="tess",
+        steps=steps, ranks=ranks, axis=axis, fault_plan=fault_plan,
+        check_divergence=check_divergence,
+        resilience=ResiliencePolicy() if resilient else None,
+        max_phase_restarts=max_phase_restarts, ghost=ghost_override,
+        trace=trace, sanitize=sanitize,
+    )
+    result = Session(spec).execute(grid, config=config, lattice=lattice)
+    return result.interior, result.stats.comm

@@ -373,7 +373,7 @@ class CompiledPlan:
 
     def execute(self, grid: Grid, arena: Optional[ScratchArena] = None
                 ) -> np.ndarray:
-        return execute_plan(self, grid, arena=arena)
+        return _execute_plan(self, grid, arena=arena)
 
     def as_schedule(self) -> RegionSchedule:
         """Re-express the compiled stream as a RegionSchedule.
@@ -644,13 +644,9 @@ def _compile_private_task(ctx: _CompileCtx, task) -> Optional[_PrivateTask]:
 # execution
 # ---------------------------------------------------------------------------
 
-def execute_plan(plan: CompiledPlan, grid: Grid,
-                 arena: Optional[ScratchArena] = None) -> np.ndarray:
-    """Run a compiled plan sequentially; returns the final interior.
-
-    Bit-identical to ``execute_schedule`` on the plan's source schedule
-    (``execute_overlapped`` for ghost-zone plans).
-    """
+def _execute_plan(plan: CompiledPlan, grid: Grid,
+                  arena: Optional[ScratchArena] = None) -> np.ndarray:
+    """Compiled-stream execution (the ``compiled`` backend's engine)."""
     if grid.shape != plan.shape:
         raise ValueError(
             f"grid shape {grid.shape} != plan shape {plan.shape}"
@@ -666,6 +662,26 @@ def execute_plan(plan: CompiledPlan, grid: Grid,
         for unit in stream:
             unit.run(bufs, flats, spec, arena)
     return grid.interior(plan.steps)
+
+
+def execute_plan(plan: CompiledPlan, grid: Grid,
+                 arena: Optional[ScratchArena] = None) -> np.ndarray:
+    """Run a compiled plan sequentially; returns the final interior.
+
+    Bit-identical to ``execute_schedule`` on the plan's source schedule
+    (``execute_overlapped`` for ghost-zone plans).
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="compiled"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("execute_plan", "repro.api.run(backend='compiled')")
+    config = RunConfig(backend="compiled", engine="compiled")
+    if arena is not None:
+        config.options["arena"] = arena
+    result = Session(plan.spec).execute(grid, config=config, plan=plan)
+    return result.interior
 
 
 def run_units(units, grid: Grid, spec: StencilSpec,

@@ -22,7 +22,7 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.runtime.schedule import RegionSchedule, execute_schedule
+from repro.runtime.schedule import RegionSchedule, _execute_schedule
 from repro.stencils.grid import Grid
 from repro.stencils.spec import StencilSpec
 
@@ -59,11 +59,14 @@ def time_schedule(
     ``repeat``/``warmup`` select min-of-k measurement (see module
     docstring); every run starts from the same initial state, restored
     by buffer copy (an identical, negligible cost under either engine),
-    so repeats measure identical work.  ``engine="compiled"`` times
-    :func:`repro.engine.plan.execute_plan` on the cached compiled plan
-    (compile time excluded — that is the cache's amortised cost);
-    ``"naive"`` times :func:`execute_schedule` (or the overlapped
-    executor for ghost-zone schedules).
+    so repeats measure identical work.  ``engine="compiled"`` times the
+    cached compiled plan's stream (compile time excluded — that is the
+    cache's amortised cost); ``"naive"`` times the sequential schedule
+    walk (or the overlapped executor for ghost-zone schedules).
+
+    Timing runs the backend engines directly — not through the
+    :mod:`repro.api` facade — so measured numbers exclude the facade's
+    stats assembly; plans are still obtained via the shared plan cache.
     """
     if engine not in ("naive", "compiled"):
         raise ValueError(f"unknown engine {engine!r}")
@@ -76,7 +79,7 @@ def time_schedule(
     if schedule.private_tasks:
         from repro.baselines.overlapped import execute_overlapped as runner
     else:
-        runner = execute_schedule
+        runner = _execute_schedule
     if repeat == 1 and warmup == 0:
         # single-shot compatibility path: exactly the historical
         # measurement (no restore machinery)
@@ -101,7 +104,7 @@ def time_plan(plan, grid: Optional[Grid] = None, seed: int = 0,
     (by buffer copy) at the start of every run, so each repeat executes
     the identical computation on warmed scratch arenas.
     """
-    from repro.engine.plan import execute_plan
+    from repro.engine.plan import _execute_plan
 
     if grid is None:
         grid = Grid(plan.spec, plan.shape, init="random", seed=seed)
@@ -110,7 +113,7 @@ def time_plan(plan, grid: Optional[Grid] = None, seed: int = 0,
     def run():
         for dst, src in zip(grid.buffers, init):
             np.copyto(dst, src)
-        return execute_plan(plan, grid)
+        return _execute_plan(plan, grid)
 
     return _timed_runs(run, repeat, warmup)
 

@@ -321,7 +321,7 @@ def _restore_checkpoint(grid: Grid, ckpt: Checkpoint,
                            detail=f"resume at group index {ckpt.next_index}")
 
 
-def execute_resilient(
+def _execute_resilient(
     spec: StencilSpec,
     grid: Grid,
     schedule: RegionSchedule,
@@ -331,7 +331,7 @@ def execute_resilient(
     trace: Optional[ExecutionTrace] = None,
     plan=None,
 ) -> Tuple[np.ndarray, ResilienceReport]:
-    """Execute a schedule with checkpoint/restart fault tolerance.
+    """Checkpoint/restart execution (the ``resilient`` backend's engine).
 
     ``plan`` accepts a :class:`~repro.engine.plan.CompiledPlan` for the
     same schedule: task attempts then run precompiled allocation-free
@@ -487,3 +487,31 @@ def execute_resilient(
         if pool is not None:
             pool.shutdown(wait=True)
     return grid.interior(schedule.steps), report
+
+
+def execute_resilient(
+    spec: StencilSpec,
+    grid: Grid,
+    schedule: RegionSchedule,
+    policy: Optional[ResiliencePolicy] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    num_threads: int = 1,
+    trace: Optional[ExecutionTrace] = None,
+    plan=None,
+) -> Tuple[np.ndarray, ResilienceReport]:
+    """Execute a schedule with checkpoint/restart fault tolerance.
+
+    Returns ``(interior at time schedule.steps, report)``.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="resilient"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("execute_resilient", "repro.api.run(backend='resilient')")
+    config = RunConfig(backend="resilient", engine="naive",
+                       threads=num_threads,
+                       resilience=policy or ResiliencePolicy(),
+                       fault_plan=fault_plan, trace=trace)
+    result = Session(spec).execute(grid, schedule, config=config, plan=plan)
+    return result.interior, result.stats.resilience

@@ -152,12 +152,11 @@ class RegionSchedule:
                     )
 
 
-def execute_schedule(spec: StencilSpec, grid: Grid,
-                     schedule: RegionSchedule) -> np.ndarray:
-    """Run a schedule sequentially (groups in order, tasks in order).
+def _execute_schedule(spec: StencilSpec, grid: Grid,
+                      schedule: RegionSchedule) -> np.ndarray:
+    """Sequential schedule walk (the ``serial`` backend's engine)."""
+    from repro.api.driver import drive_groups, run_actions
 
-    Returns the interior at time ``schedule.steps``.
-    """
     if spec.is_periodic:
         raise ValueError("region schedules assume non-periodic boundaries")
     if schedule.private_tasks:
@@ -169,11 +168,28 @@ def execute_schedule(spec: StencilSpec, grid: Grid,
         raise ValueError(
             f"grid shape {grid.shape} != schedule shape {schedule.shape}"
         )
-    for group in sorted(schedule.groups()):
-        for task in schedule.groups()[group]:
-            for a in task.actions:
-                spec.apply_region(grid.at(a.t), grid.at(a.t + 1), a.region)
+    drive_groups(
+        schedule,
+        lambda gi, gid, ti, task: run_actions(spec, grid, task.actions),
+    )
     return grid.interior(schedule.steps)
+
+
+def execute_schedule(spec: StencilSpec, grid: Grid,
+                     schedule: RegionSchedule) -> np.ndarray:
+    """Run a schedule sequentially (groups in order, tasks in order).
+
+    Returns the interior at time ``schedule.steps``.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="serial"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("execute_schedule", "repro.api.run(backend='serial')")
+    result = Session(spec).execute(
+        grid, schedule, config=RunConfig(backend="serial", engine="naive"))
+    return result.interior
 
 
 def verify_schedule(spec: StencilSpec, schedule: RegionSchedule,
@@ -200,7 +216,7 @@ def verify_schedule(spec: StencilSpec, schedule: RegionSchedule,
 
         out = execute_overlapped(spec, g_sch, schedule)
     else:
-        out = execute_schedule(spec, g_sch, schedule)
+        out = _execute_schedule(spec, g_sch, schedule)
     if np.issubdtype(spec.dtype, np.integer):
         return bool(np.array_equal(ref, out))
     return bool(np.allclose(ref, out, rtol=rtol, atol=atol))

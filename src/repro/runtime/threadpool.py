@@ -24,12 +24,10 @@ semantics use :func:`repro.runtime.resilience.execute_resilient`.
 
 from __future__ import annotations
 
-from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 from typing import Optional
 
 import numpy as np
 
-from repro.runtime.errors import ExecutionError
 from repro.runtime.faults import FaultPlan, poison_task_output
 from repro.runtime.schedule import RegionSchedule, ScheduledTask
 from repro.stencils.grid import Grid
@@ -67,7 +65,7 @@ def _run_task(
     return pts
 
 
-def execute_threaded(
+def _execute_threaded(
     spec: StencilSpec,
     grid: Grid,
     schedule: RegionSchedule,
@@ -76,7 +74,7 @@ def execute_threaded(
     sanitize: bool = False,
     plan=None,
 ) -> np.ndarray:
-    """Execute a schedule with ``num_threads`` worker threads.
+    """Pooled barrier-group execution (the ``threaded`` backend's engine).
 
     Returns the interior at time ``schedule.steps``.  Fail-fast: the
     first task exception cancels the group's pending tasks and raises
@@ -115,31 +113,46 @@ def execute_threaded(
         if (plan.shape != schedule.shape or plan.steps != schedule.steps
                 or plan.scheme != schedule.scheme):
             raise ValueError("plan was compiled for a different schedule")
-    groups = schedule.groups()
-    with ThreadPoolExecutor(max_workers=num_threads) as pool:
-        for gi, gid in enumerate(sorted(groups)):
-            tasks = groups[gid]
-            group_units = plan.task_units(gi) if plan is not None else None
-            futures = {
-                pool.submit(_run_task, spec, grid, task, gid, ti, fault_plan,
-                            group_units[ti] if group_units else None):
-                task
-                for ti, task in enumerate(tasks)
-            }
-            done, pending = wait(futures, return_when=FIRST_EXCEPTION)
-            first_exc, failed_task = None, None
-            for f in done:
-                exc = f.exception()
-                if exc is not None and first_exc is None:
-                    first_exc, failed_task = exc, futures[f]
-            if first_exc is not None:
-                cancelled = sum(1 for f in pending if f.cancel())
-                wait(futures)  # join tasks that were already running
-                raise ExecutionError(
-                    f"task failed ({first_exc}); "
-                    f"{cancelled} pending task(s) cancelled",
-                    scheme=schedule.scheme,
-                    group=gid,
-                    task_label=failed_task.label or None,
-                ) from first_exc
+    from repro.api.driver import drive_groups
+
+    if plan is not None:
+        # materialise per-group units on the main thread: the plan's
+        # unit cache is lazy and must not be populated from workers
+        all_units = [plan.task_units(gi)
+                     for gi in range(len(plan.group_ids))]
+    else:
+        all_units = None
+
+    def run_one(gi, gid, ti, task):
+        group_units = all_units[gi] if all_units is not None else None
+        return _run_task(spec, grid, task, gid, ti, fault_plan,
+                         group_units[ti] if group_units else None)
+
+    drive_groups(schedule, run_one, num_threads=num_threads)
     return grid.interior(schedule.steps)
+
+
+def execute_threaded(
+    spec: StencilSpec,
+    grid: Grid,
+    schedule: RegionSchedule,
+    num_threads: int = 4,
+    fault_plan: Optional[FaultPlan] = None,
+    sanitize: bool = False,
+    plan=None,
+) -> np.ndarray:
+    """Execute a schedule with ``num_threads`` worker threads.
+
+    Returns the interior at time ``schedule.steps``.
+
+    .. deprecated:: use ``repro.api.run`` / ``Session.execute`` with
+       ``backend="threaded"`` instead.
+    """
+    from repro.api import RunConfig, Session, warn_legacy
+
+    warn_legacy("execute_threaded", "repro.api.run(backend='threaded')")
+    config = RunConfig(backend="threaded", engine="naive",
+                       threads=num_threads, fault_plan=fault_plan,
+                       sanitize=sanitize)
+    result = Session(spec).execute(grid, schedule, config=config, plan=plan)
+    return result.interior

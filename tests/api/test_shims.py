@@ -1,0 +1,154 @@
+"""Deprecation shims: the eight legacy entry points still work.
+
+Each historical entry point (``run_blocked``, ``run_merged``,
+``execute_schedule``, ``execute_threaded``, ``execute_resilient``,
+``execute_plan``, ``execute_distributed``, ``execute_elastic``) must
+
+* emit **exactly one** :class:`DeprecationWarning` per call, pointing
+  at the caller (``stacklevel``), and
+* return results **bit-identical** to the private implementation it
+  wraps (the shim routes through ``Session.execute``; any drift there
+  is a facade bug).
+
+This file is the *only* place in the suite allowed to call the legacy
+names — CI runs every other test under ``-W error::DeprecationWarning``.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import make_lattice
+from repro.core.executor import _run_blocked, _run_merged, run_blocked, run_merged
+from repro.core.schedules import tess_schedule
+from repro.distributed.exec import _execute_distributed, execute_distributed
+from repro.engine.plan import _execute_plan, compile_plan, execute_plan
+from repro.runtime.resilience import _execute_resilient, execute_resilient
+from repro.runtime.schedule import _execute_schedule, execute_schedule
+from repro.runtime.threadpool import _execute_threaded, execute_threaded
+from repro.stencils import Grid, heat1d, heat2d
+
+pytestmark = pytest.mark.api
+
+SHAPE = (40, 36)
+STEPS = 8
+B = 4
+
+
+def _artifacts(spec=None, shape=SHAPE, steps=STEPS):
+    spec = spec or heat2d()
+    lattice = make_lattice(spec, shape, B)
+    schedule = tess_schedule(spec, shape, lattice, steps)
+    return spec, lattice, schedule
+
+
+def _call_with_one_warning(fn, *args, **kwargs):
+    """Call fn, assert exactly one DeprecationWarning, return result."""
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        result = fn(*args, **kwargs)
+    deprecations = [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+    assert len(deprecations) == 1, (
+        f"{fn.__name__} emitted {len(deprecations)} DeprecationWarnings, "
+        f"expected exactly 1"
+    )
+    message = str(deprecations[0].message)
+    assert fn.__name__ in message
+    assert "repro.api" in message
+    return result
+
+
+def test_execute_schedule_shim():
+    spec, _, schedule = _artifacts()
+    ref = _execute_schedule(spec, Grid(spec, SHAPE, seed=0), schedule)
+    out = _call_with_one_warning(
+        execute_schedule, spec, Grid(spec, SHAPE, seed=0), schedule)
+    assert np.array_equal(ref, out)
+
+
+def test_execute_threaded_shim():
+    spec, _, schedule = _artifacts()
+    ref = _execute_threaded(spec, Grid(spec, SHAPE, seed=0), schedule,
+                            num_threads=2)
+    out = _call_with_one_warning(
+        execute_threaded, spec, Grid(spec, SHAPE, seed=0), schedule,
+        num_threads=2)
+    assert np.array_equal(ref, out)
+
+
+def test_execute_resilient_shim():
+    from repro.runtime.resilience import ResilienceReport
+
+    spec, _, schedule = _artifacts()
+    ref, _ = _execute_resilient(spec, Grid(spec, SHAPE, seed=0), schedule)
+    out, report = _call_with_one_warning(
+        execute_resilient, spec, Grid(spec, SHAPE, seed=0), schedule)
+    assert np.array_equal(ref, out)
+    assert isinstance(report, ResilienceReport)
+
+
+def test_execute_plan_shim():
+    spec, _, schedule = _artifacts()
+    plan = compile_plan(spec, schedule)
+    ref = _execute_plan(plan, Grid(spec, SHAPE, seed=0))
+    out = _call_with_one_warning(execute_plan, plan, Grid(spec, SHAPE, seed=0))
+    assert np.array_equal(ref, out)
+
+
+def test_run_blocked_shim():
+    spec, lattice, _ = _artifacts()
+    ref = _run_blocked(spec, Grid(spec, SHAPE, seed=0), lattice, STEPS)
+    out = _call_with_one_warning(
+        run_blocked, spec, Grid(spec, SHAPE, seed=0), lattice, STEPS)
+    assert np.array_equal(ref, out)
+
+
+def test_run_merged_shim():
+    spec, lattice, _ = _artifacts()
+    ref = _run_merged(spec, Grid(spec, SHAPE, seed=0), lattice, STEPS)
+    out = _call_with_one_warning(
+        run_merged, spec, Grid(spec, SHAPE, seed=0), lattice, STEPS)
+    assert np.array_equal(ref, out)
+
+
+def test_execute_distributed_shim():
+    spec = heat1d()
+    shape = (200,)
+    lattice = make_lattice(spec, shape, B)
+    ref, ref_stats = _execute_distributed(
+        spec, Grid(spec, shape, seed=0), lattice, STEPS, 4)
+    out, stats = _call_with_one_warning(
+        execute_distributed, spec, Grid(spec, shape, seed=0), lattice,
+        STEPS, 4)
+    assert np.array_equal(ref, out)
+    assert stats.messages == ref_stats.messages
+    assert stats.bytes_sent == ref_stats.bytes_sent
+
+
+@pytest.mark.dist
+def test_execute_elastic_shim():
+    from repro.distributed.elastic import _execute_elastic, execute_elastic
+
+    spec = heat1d()
+    shape = (200,)
+    lattice = make_lattice(spec, shape, B)
+    ref, _ = _execute_elastic(
+        spec, Grid(spec, shape, seed=0), lattice, STEPS, 2)
+    out, stats = _call_with_one_warning(
+        execute_elastic, spec, Grid(spec, shape, seed=0), lattice,
+        STEPS, 2)
+    assert np.array_equal(ref, out)
+    assert stats.messages > 0
+
+
+def test_shim_warning_points_at_caller():
+    """stacklevel: the warning must be attributed to this file, not to
+    the shim's module or the deprecation helper."""
+    spec, _, schedule = _artifacts(shape=(16, 16), steps=4)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        execute_schedule(spec, Grid(spec, (16, 16), seed=0), schedule)
+    dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+    assert dep[0].filename == __file__

@@ -7,7 +7,7 @@ from hypothesis import strategies as st
 
 from repro.baselines import execute_overlapped, overlapped_schedule
 from repro.runtime import schedule_stats, verify_schedule
-from repro.runtime.schedule import execute_schedule
+from repro.runtime.schedule import _execute_schedule
 from repro.stencils import (
     Grid,
     d1p5,
@@ -53,7 +53,7 @@ class TestSchedule:
         sched = overlapped_schedule(spec, (20,), 4, (5,), 2)
         g = Grid(spec, (20,), seed=0)
         with pytest.raises(ValueError, match="private"):
-            execute_schedule(spec, g, sched)
+            _execute_schedule(spec, g, sched)
 
     def test_one_group_per_time_tile(self):
         spec = heat1d()

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import make_lattice, run_blocked
+from repro.core import make_lattice
+from repro.core.executor import _run_blocked
 from repro.core.codegen import (
     compile_tess,
     generate_tess_source,
@@ -84,7 +85,7 @@ class TestGeneratedCorrectness:
         lat = make_lattice(spec, shape, b, core_widths=(w, w))
         g1 = Grid(spec, shape, seed=steps)
         g2 = g1.copy()
-        a = run_blocked(spec, g1, lat, steps).copy()
+        a = _run_blocked(spec, g1, lat, steps).copy()
         out = run_generated(spec, g2, steps, b, lattice=lat)
         assert np.allclose(a, out, rtol=1e-12, atol=1e-13)
 

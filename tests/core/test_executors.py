@@ -11,7 +11,8 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import make_lattice, run_blocked, run_merged, run_pointwise
+from repro.core import make_lattice, run_pointwise
+from repro.core.executor import _run_blocked, _run_merged
 from repro.core.profiles import AxisProfile, TessLattice
 from repro.stencils import (
     Grid,
@@ -43,7 +44,7 @@ def _compare(spec, ref, out):
 
 
 @pytest.mark.parametrize("name", sorted(ALL_KERNELS))
-@pytest.mark.parametrize("runner", [run_pointwise, run_blocked, run_merged],
+@pytest.mark.parametrize("runner", [run_pointwise, _run_blocked, _run_merged],
                          ids=["pointwise", "blocked", "merged"])
 class TestAllKernelsAllExecutors:
     def test_matches_reference(self, name, runner):
@@ -152,7 +153,7 @@ class TestBlockExecutorSpecifics:
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, steps)
         lat = make_lattice(spec, (nx, ny), b, core_widths=(wx, wy))
-        out = run_blocked(spec, g2, lat, steps)
+        out = _run_blocked(spec, g2, lat, steps)
         assert _compare(spec, ref, out)
 
     def test_rejects_periodic(self):
@@ -160,16 +161,16 @@ class TestBlockExecutorSpecifics:
         g = Grid(spec, (12,), seed=1)
         lat = TessLattice((AxisProfile.uniform(12, 2, periodic=True),))
         with pytest.raises(ValueError):
-            run_blocked(spec, g, lat, 2)
+            _run_blocked(spec, g, lat, 2)
         with pytest.raises(ValueError):
-            run_merged(spec, g, lat, 2)
+            _run_merged(spec, g, lat, 2)
 
     def test_block_hook_totals(self):
         spec = heat2d()
         g = Grid(spec, (14, 14), seed=0)
         lat = make_lattice(spec, (14, 14), 2)
         seen = []
-        run_blocked(spec, g, lat, 5,
+        _run_blocked(spec, g, lat, 5,
                     on_block=lambda kind, tt, blk, n: seen.append((kind, n)))
         assert sum(n for _, n in seen) == 14 * 14 * 5
 
@@ -181,7 +182,7 @@ class TestBlockExecutorSpecifics:
         ref = reference_sweep(spec, g1, 5)
         lat = make_lattice(spec, shape, 2, core_widths=(1, 1, 1),
                            uncut_dims=(2,))
-        out = run_blocked(spec, g2, lat, 5)
+        out = _run_blocked(spec, g2, lat, 5)
         assert _compare(spec, ref, out)
 
 
@@ -193,7 +194,7 @@ class TestMergedExecutorSpecifics:
         g1 = Grid(spec, (n,), seed=steps)
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, steps)
-        out = run_merged(spec, g2, make_lattice(spec, (n,), b), steps)
+        out = _run_merged(spec, g2, make_lattice(spec, (n,), b), steps)
         assert _compare(spec, ref, out)
 
     def test_merged_equals_unmerged(self):
@@ -202,8 +203,8 @@ class TestMergedExecutorSpecifics:
         lat = make_lattice(spec, shape, 3)
         g1 = Grid(spec, shape, seed=7)
         g2 = g1.copy()
-        a = run_blocked(spec, g1, lat, 9).copy()
-        bout = run_merged(spec, g2, lat, 9).copy()
+        a = _run_blocked(spec, g1, lat, 9).copy()
+        bout = _run_merged(spec, g2, lat, 9).copy()
         assert np.allclose(a, bout, rtol=1e-12, atol=1e-13)
 
     def test_merging_condition_enforced(self):
@@ -211,7 +212,7 @@ class TestMergedExecutorSpecifics:
         g = Grid(spec, (40,), seed=1)
         lat = make_lattice(spec, (40,), 2, core_widths=(1,))
         with pytest.raises(ValueError, match="core width"):
-            run_merged(spec, g, lat, 4)
+            _run_merged(spec, g, lat, 4)
 
     def test_merged_uncut_3d(self):
         spec = heat3d()
@@ -220,5 +221,5 @@ class TestMergedExecutorSpecifics:
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, 7)
         lat = make_lattice(spec, shape, 2, uncut_dims=(2,))
-        out = run_merged(spec, g2, lat, 7)
+        out = _run_merged(spec, g2, lat, 7)
         assert _compare(spec, ref, out)

@@ -10,9 +10,9 @@ from repro.distributed import (
     ClusterSpec,
     SlabPartition,
     communication_plan,
-    execute_distributed,
     simulate_distributed,
 )
+from repro.distributed.exec import _execute_distributed
 from repro.distributed.plan import plan_totals
 from repro.machine.spec import paper_machine
 
@@ -72,7 +72,7 @@ class TestExecuteDistributed:
         g1 = Grid(spec, shape, seed=4)
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, steps)
-        out, stats = execute_distributed(spec, g2, make_lattice(spec, shape, b),
+        out, stats = _execute_distributed(spec, g2, make_lattice(spec, shape, b),
                                          steps, ranks)
         if np.issubdtype(spec.dtype, np.integer):
             assert np.array_equal(ref, out)
@@ -88,14 +88,14 @@ class TestExecuteDistributed:
         g1 = Grid(spec, (n,), seed=n)
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, steps)
-        out, _ = execute_distributed(spec, g2, make_lattice(spec, (n,), b),
+        out, _ = _execute_distributed(spec, g2, make_lattice(spec, (n,), b),
                                      steps, ranks)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
 
     def test_single_rank_no_comm(self):
         spec = get_stencil("heat1d")
         g = Grid(spec, (40,), seed=1)
-        out, stats = execute_distributed(
+        out, stats = _execute_distributed(
             spec, g, make_lattice(spec, (40,), 3), 6, ranks=1
         )
         assert stats.messages == 0
@@ -106,7 +106,7 @@ class TestExecuteDistributed:
         g1 = Grid(spec, shape, seed=2)
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, 7)
-        out, _ = execute_distributed(spec, g2, make_lattice(spec, shape, 3),
+        out, _ = _execute_distributed(spec, g2, make_lattice(spec, shape, 3),
                                      7, ranks=3, axis=1)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
 
@@ -115,7 +115,7 @@ class TestExecuteDistributed:
         g = Grid(spec, (40,), seed=0)
         lat = make_lattice(spec, (40,), 2)
         with pytest.raises(ValueError):
-            execute_distributed(spec, g, lat, 4, 2)
+            _execute_distributed(spec, g, lat, 4, 2)
 
 
 class TestCommunicationPlan:
@@ -150,7 +150,7 @@ class TestCommunicationPlan:
         b = 4
         lat = make_lattice(spec, shape, b)
         g = Grid(spec, shape, seed=0)
-        _, stats = execute_distributed(spec, g, lat, b, 3)
+        _, stats = _execute_distributed(spec, g, lat, b, 3)
         plan = plan_totals(communication_plan(spec, shape, lat, 3))
         assert stats.bytes_sent >= plan["total_bytes"]
 

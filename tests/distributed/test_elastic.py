@@ -28,9 +28,9 @@ from repro import Grid, get_stencil, make_lattice, reference_sweep
 from repro.distributed import (
     ElasticConfig,
     RetryPolicy,
-    execute_distributed,
-    execute_elastic,
 )
+from repro.distributed.exec import _execute_distributed
+from repro.distributed.elastic import _execute_elastic
 from repro.distributed.partition import SlabPartition, build_ownership
 from repro.runtime import (
     ChecksumMismatchError,
@@ -51,7 +51,7 @@ def _setup(kernel="heat1d", shape=(400,), steps=16, b=4, ranks=4):
     spec = get_stencil(kernel)
     lat = make_lattice(spec, shape, b)
     grid = Grid(spec, shape, seed=0)
-    base, _ = execute_distributed(spec, grid.copy(), lat, steps, ranks)
+    base, _ = _execute_distributed(spec, grid.copy(), lat, steps, ranks)
     return spec, lat, grid, base
 
 
@@ -70,7 +70,7 @@ class TestFaultFree:
                                              b, ranks):
         spec, lat, grid, base = _setup(kernel, shape, steps, b, ranks)
         ref = reference_sweep(spec, grid.copy(), steps)
-        out, stats = execute_elastic(spec, grid.copy(), lat, steps, ranks)
+        out, stats = _execute_elastic(spec, grid.copy(), lat, steps, ranks)
         assert np.array_equal(base, out)
         assert np.array_equal(ref, out)
         assert stats.messages > 0 and stats.bytes_sent > 0
@@ -79,16 +79,16 @@ class TestFaultFree:
 
     def test_single_rank_and_zero_steps(self):
         spec, lat, grid, _ = _setup()
-        out, _ = execute_elastic(spec, grid.copy(), lat, 16, 1)
+        out, _ = _execute_elastic(spec, grid.copy(), lat, 16, 1)
         assert np.array_equal(reference_sweep(spec, grid.copy(), 16), out)
-        out0, _ = execute_elastic(spec, grid.copy(), lat, 0, 3)
+        out0, _ = _execute_elastic(spec, grid.copy(), lat, 0, 3)
         assert np.array_equal(grid.interior(0), out0)
 
     def test_periodic_boundary_rejected(self):
         spec = get_stencil("heat1d", boundary="periodic")
         lat = make_lattice(spec, (64,), 4)
         with pytest.raises(ValueError, match="Dirichlet"):
-            execute_elastic(spec, Grid(spec, (64,), seed=0), lat, 4, 2)
+            _execute_elastic(spec, Grid(spec, (64,), seed=0), lat, 4, 2)
 
 
 class TestSingleFaultRecovery:
@@ -107,7 +107,7 @@ class TestSingleFaultRecovery:
     def test_bit_identical_recovery(self, fault, expect):
         spec, lat, grid, base = _setup()
         trace = ExecutionTrace(scheme="elastic")
-        out, stats = execute_elastic(
+        out, stats = _execute_elastic(
             spec, grid.copy(), lat, 16, 4,
             fault_plan=FaultPlan([fault]),
             config=ElasticConfig(**FAST), trace=trace,
@@ -126,7 +126,7 @@ class TestSingleFaultRecovery:
         spec, lat, grid, base = _setup()
         plan = FaultPlan([FaultSpec("kill_rank", group=2, task=0),
                           FaultSpec("kill_rank", group=5, task=3)])
-        out, stats = execute_elastic(spec, grid.copy(), lat, 16, 4,
+        out, stats = _execute_elastic(spec, grid.copy(), lat, 16, 4,
                                      fault_plan=plan,
                                      config=ElasticConfig(**FAST))
         assert np.array_equal(base, out)
@@ -137,7 +137,7 @@ class TestSingleFaultRecovery:
         spec, lat, grid, base = _setup()
         plan = FaultPlan([FaultSpec("kill_rank", group=3, task=1,
                                     max_hits=2)])
-        out, stats = execute_elastic(
+        out, stats = _execute_elastic(
             spec, grid.copy(), lat, 16, 4, fault_plan=plan,
             config=ElasticConfig(max_respawns=3, max_phase_restarts=6,
                                  **FAST))
@@ -154,7 +154,7 @@ class TestChaosSweep:
         stages = _stages_total(spec, (240,), 12, 4, 3)
         plan = FaultPlan.random_process(stages, 3, rate=0.25, seed=seed,
                                         stall_s=30.0)
-        out, stats = execute_elastic(
+        out, stats = _execute_elastic(
             spec, grid.copy(), lat, 12, 3, fault_plan=plan,
             config=ElasticConfig(max_phase_restarts=8, max_respawns=4,
                                  **FAST),
@@ -190,7 +190,7 @@ class TestStructuredFailures:
         spec, lat, grid, _ = _setup()
         plan = FaultPlan([FaultSpec("kill_rank", group=3, task=1)])
         with pytest.raises(RankLostError) as ei:
-            execute_elastic(spec, grid.copy(), lat, 16, 4,
+            _execute_elastic(spec, grid.copy(), lat, 16, 4,
                             fault_plan=plan,
                             config=ElasticConfig(max_respawns=0, **FAST))
         assert ei.value.rank == 1 and ei.value.cause == "dead"
@@ -200,7 +200,7 @@ class TestStructuredFailures:
         plan = FaultPlan([FaultSpec("drop_msg", group=1, task=1,
                                     max_hits=10 ** 6)])
         with pytest.raises(ExchangeTimeoutError) as ei:
-            execute_elastic(spec, grid.copy(), lat, 16, 4,
+            _execute_elastic(spec, grid.copy(), lat, 16, 4,
                             fault_plan=plan,
                             config=ElasticConfig(max_phase_restarts=0,
                                                  **FAST))
@@ -211,7 +211,7 @@ class TestStructuredFailures:
         plan = FaultPlan([FaultSpec("flip_bits", group=1, task=1,
                                     max_hits=10 ** 6)])
         with pytest.raises(ChecksumMismatchError) as ei:
-            execute_elastic(spec, grid.copy(), lat, 16, 4,
+            _execute_elastic(spec, grid.copy(), lat, 16, 4,
                             fault_plan=plan,
                             config=ElasticConfig(max_phase_restarts=0,
                                                  **FAST))
@@ -229,7 +229,7 @@ class TestSpillFileLifecycle:
     def test_no_leak_on_success(self, tmp_path):
         spec, lat, grid, base = _setup()
         cfg = ElasticConfig(checkpoint_dir=str(tmp_path), **FAST)
-        out, _ = execute_elastic(
+        out, _ = _execute_elastic(
             spec, grid.copy(), lat, 16, 4,
             fault_plan=FaultPlan([FaultSpec("kill_rank", group=3,
                                             task=1)]),
@@ -242,7 +242,7 @@ class TestSpillFileLifecycle:
         cfg = ElasticConfig(checkpoint_dir=str(tmp_path), max_respawns=0,
                             **FAST)
         with pytest.raises(RankLostError):
-            execute_elastic(
+            _execute_elastic(
                 spec, grid.copy(), lat, 16, 4,
                 fault_plan=FaultPlan([FaultSpec("kill_rank", group=3,
                                                 task=1)]),
@@ -253,7 +253,7 @@ class TestSpillFileLifecycle:
         spec, lat, grid, _ = _setup()
         before = set(glob.glob(os.path.join(tempfile.gettempdir(),
                                             "repro-elastic-*")))
-        execute_elastic(spec, grid.copy(), lat, 8, 2,
+        _execute_elastic(spec, grid.copy(), lat, 8, 2,
                         config=ElasticConfig(**FAST))
         after = set(glob.glob(os.path.join(tempfile.gettempdir(),
                                            "repro-elastic-*")))
@@ -265,8 +265,8 @@ class TestStatsAndTraceSchema:
 
     def test_same_counter_schema_as_simulator(self):
         spec, lat, grid, _ = _setup()
-        _, sim = execute_distributed(spec, grid.copy(), lat, 8, 2)
-        _, ela = execute_elastic(spec, grid.copy(), lat, 8, 2,
+        _, sim = _execute_distributed(spec, grid.copy(), lat, 8, 2)
+        _, ela = _execute_elastic(spec, grid.copy(), lat, 8, 2,
                                  config=ElasticConfig(**FAST))
         assert set(vars(sim)) == set(vars(ela))
         assert "retries" in ela.describe_resilience()
@@ -274,7 +274,7 @@ class TestStatsAndTraceSchema:
 
     def test_retry_and_crc_counters_reach_the_report(self):
         spec, lat, grid, _ = _setup()
-        out, stats = execute_elastic(
+        out, stats = _execute_elastic(
             spec, grid.copy(), lat, 16, 4,
             fault_plan=FaultPlan([FaultSpec("flip_bits", group=2,
                                             task=0)]),
@@ -288,7 +288,7 @@ class TestStatsAndTraceSchema:
         spec, lat, grid, base = _setup()
         cfg = ElasticConfig(retry=RetryPolicy(timeout_s=0.1,
                                               max_retries=5), **FAST)
-        out, _ = execute_elastic(
+        out, _ = _execute_elastic(
             spec, grid.copy(), lat, 16, 4,
             fault_plan=FaultPlan([FaultSpec("drop_msg", group=1,
                                             task=2)]),
@@ -300,5 +300,5 @@ class TestStatsAndTraceSchema:
 
         spec, lat, grid, _ = _setup()
         with pytest.raises(SanitizerViolation):
-            execute_elastic(spec, grid.copy(), lat, 8, 4,
+            _execute_elastic(spec, grid.copy(), lat, 8, 4,
                             ghost_override=1, sanitize=True)

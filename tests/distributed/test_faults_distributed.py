@@ -12,7 +12,7 @@ import numpy as np
 import pytest
 
 from repro import Grid, get_stencil, make_lattice, reference_sweep
-from repro.distributed import execute_distributed
+from repro.distributed.exec import _execute_distributed
 from repro.runtime import FaultPlan, FaultSpec, GhostDivergenceError
 
 pytestmark = pytest.mark.faults
@@ -23,14 +23,14 @@ def _setup(kernel="heat1d", shape=(400,), steps=16, b=4, ranks=4):
     lat = make_lattice(spec, shape, b)
     grid = Grid(spec, shape, seed=0)
     ref = reference_sweep(spec, grid.copy(), steps)
-    base, _ = execute_distributed(spec, grid.copy(), lat, steps, ranks)
+    base, _ = _execute_distributed(spec, grid.copy(), lat, steps, ranks)
     return spec, lat, grid, ref, base
 
 
 class TestDivergenceDetector:
     def test_clean_run_no_false_positives_1d(self):
         spec, lat, grid, ref, base = _setup()
-        out, stats = execute_distributed(spec, grid.copy(), lat, 16, 4,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                          check_divergence=True)
         assert np.array_equal(base, out)
         assert stats.divergence_checks > 0
@@ -42,7 +42,7 @@ class TestDivergenceDetector:
     def test_clean_run_no_false_positives_nd(self, kernel, shape, steps,
                                              b, ranks):
         spec, lat, grid, ref, base = _setup(kernel, shape, steps, b, ranks)
-        out, stats = execute_distributed(spec, grid.copy(), lat, steps,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, steps,
                                          ranks, check_divergence=True)
         assert np.array_equal(base, out)
 
@@ -50,7 +50,7 @@ class TestDivergenceDetector:
         spec, lat, grid, ref, base = _setup()
         plan = FaultPlan([FaultSpec("drop", group=2, task=1)])
         with pytest.raises(GhostDivergenceError) as ei:
-            execute_distributed(spec, grid.copy(), lat, 16, 4,
+            _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                 fault_plan=plan, check_divergence=True)
         assert ei.value.stage == 2
         assert ei.value.mismatched_points > 0
@@ -59,7 +59,7 @@ class TestDivergenceDetector:
         spec, lat, grid, ref, base = _setup()
         plan = FaultPlan([FaultSpec("garble", group=1, task=0)])
         with pytest.raises(GhostDivergenceError):
-            execute_distributed(spec, grid.copy(), lat, 16, 4,
+            _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                 fault_plan=plan, check_divergence=True)
 
     def test_undersized_ghost_band_caught_not_silent(self):
@@ -70,18 +70,18 @@ class TestDivergenceDetector:
         band width, so the same run raises instead.
         """
         spec, lat, grid, ref, base = _setup()
-        out, _ = execute_distributed(spec, grid.copy(), lat, 16, 4,
+        out, _ = _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                      ghost_override=1)
         assert not np.allclose(ref, out, rtol=1e-11, atol=1e-12)
         with pytest.raises(GhostDivergenceError):
-            execute_distributed(spec, grid.copy(), lat, 16, 4,
+            _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                 ghost_override=1, check_divergence=True)
 
     def test_integer_kernel_garble_detected(self):
         spec, lat, grid, ref, base = _setup("life", (48, 48), 8, 2, 3)
         plan = FaultPlan([FaultSpec("garble", group=1, task=0)])
         with pytest.raises(GhostDivergenceError):
-            execute_distributed(spec, grid.copy(), lat, 8, 3,
+            _execute_distributed(spec, grid.copy(), lat, 8, 3,
                                 fault_plan=plan, check_divergence=True)
 
 
@@ -89,7 +89,7 @@ class TestPhaseRecovery:
     def test_dropped_exchange_recovers_bit_identical(self):
         spec, lat, grid, ref, base = _setup()
         plan = FaultPlan([FaultSpec("drop", group=2, task=1)])
-        out, stats = execute_distributed(spec, grid.copy(), lat, 16, 4,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                          fault_plan=plan, resilient=True)
         assert np.array_equal(base, out)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
@@ -99,7 +99,7 @@ class TestPhaseRecovery:
     def test_garbled_exchange_recovers_bit_identical(self):
         spec, lat, grid, ref, base = _setup()
         plan = FaultPlan([FaultSpec("garble", group=5, task=2)])
-        out, stats = execute_distributed(spec, grid.copy(), lat, 16, 4,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                          fault_plan=plan, resilient=True)
         assert np.array_equal(base, out)
         assert stats.garbles >= 1
@@ -109,7 +109,7 @@ class TestPhaseRecovery:
         spec, lat, grid, ref, base = _setup()
         plan = FaultPlan([FaultSpec("drop", group=g, task=g % 3)
                           for g in (1, 4, 9)])
-        out, stats = execute_distributed(spec, grid.copy(), lat, 16, 4,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                          fault_plan=plan, resilient=True)
         assert np.array_equal(base, out)
         assert stats.phase_restarts >= 1
@@ -117,7 +117,7 @@ class TestPhaseRecovery:
     def test_recovery_in_2d(self):
         spec, lat, grid, ref, base = _setup("heat2d", (64, 64), 12, 4, 3)
         plan = FaultPlan([FaultSpec("drop", group=3, task=1)])
-        out, stats = execute_distributed(spec, grid.copy(), lat, 12, 3,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, 12, 3,
                                          fault_plan=plan, resilient=True)
         assert np.array_equal(base, out)
         assert stats.phase_restarts >= 1
@@ -127,13 +127,13 @@ class TestPhaseRecovery:
         plan = FaultPlan([FaultSpec("drop", group=2, task=1,
                                     max_hits=10_000)])
         with pytest.raises(GhostDivergenceError):
-            execute_distributed(spec, grid.copy(), lat, 16, 4,
+            _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                 fault_plan=plan, resilient=True,
                                 max_phase_restarts=2)
 
     def test_fault_free_resilient_identical(self):
         spec, lat, grid, ref, base = _setup()
-        out, stats = execute_distributed(spec, grid.copy(), lat, 16, 4,
+        out, stats = _execute_distributed(spec, grid.copy(), lat, 16, 4,
                                          resilient=True)
         assert np.array_equal(base, out)
         assert stats.phase_restarts == 0

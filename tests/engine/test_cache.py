@@ -15,10 +15,10 @@ from repro.core.schedules import tess_schedule
 from repro.engine import (
     PlanCache,
     compile_plan,
-    execute_plan,
     plan_key,
     spec_signature,
 )
+from repro.engine.plan import _execute_plan
 
 pytestmark = pytest.mark.engine
 
@@ -97,9 +97,9 @@ def test_cached_plan_still_correct():
     plan2 = cache.get(spec, sched)
     g = Grid(spec, (40, 40), init="random", seed=3)
     g2 = g.copy()
-    from repro.runtime import execute_schedule
-    ref = execute_schedule(spec, g, sched)
-    assert np.array_equal(ref, execute_plan(plan2, g2))
+    from repro.runtime.schedule import _execute_schedule
+    ref = _execute_schedule(spec, g, sched)
+    assert np.array_equal(ref, _execute_plan(plan2, g2))
     assert plan is plan2
 
 
@@ -120,9 +120,9 @@ def test_disk_tier_round_trip(tmp_path):
     assert c2.stats.misses == 0
     g = Grid(spec, (128,), init="random", seed=5)
     g2 = g.copy()
-    from repro.runtime import execute_schedule
-    assert np.array_equal(execute_schedule(spec, g, sched),
-                          execute_plan(plan, g2))
+    from repro.runtime.schedule import _execute_schedule
+    assert np.array_equal(_execute_schedule(spec, g, sched),
+                          _execute_plan(plan, g2))
 
 
 def test_disk_corruption_is_a_miss(tmp_path):
@@ -176,13 +176,13 @@ def test_tune_tessellation_wallclock_uses_cache():
 
 @pytest.mark.dist
 def test_distributed_ranks_compile_once():
-    from repro.distributed import execute_elastic
+    from repro.distributed.elastic import _execute_elastic
 
     spec = get_stencil("heat1d")
     shape, b, steps, ranks = (400,), 4, 16, 3
     lat = make_lattice(spec, shape, b)
     grid = Grid(spec, shape, seed=0)
-    out, stats = execute_elastic(spec, grid.copy(), lat, steps, ranks)
+    out, stats = _execute_elastic(spec, grid.copy(), lat, steps, ranks)
     from repro import reference_sweep
     assert np.array_equal(reference_sweep(spec, grid.copy(), steps), out)
     # one compile per rank incarnation, never one per phase

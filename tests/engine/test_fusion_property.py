@@ -18,8 +18,10 @@ from repro import Grid, get_stencil
 from repro.baselines import naive_schedule, spatial_schedule
 from repro.core import make_lattice
 from repro.core.schedules import tess_schedule
-from repro.engine import compile_plan, execute_plan
-from repro.runtime import execute_schedule, sanitize_schedule
+from repro.engine import compile_plan
+from repro.engine.plan import _execute_plan
+from repro.runtime import sanitize_schedule
+from repro.runtime.schedule import _execute_schedule
 
 pytestmark = pytest.mark.engine
 
@@ -79,8 +81,8 @@ def test_fusion_preserves_invariants_on_fusing_schedules(case):
     assert report.ok, report.describe()
     g = Grid(spec, (n,), init="random", seed=1)
     g2 = g.copy()
-    assert np.array_equal(execute_schedule(spec, g, sched),
-                          execute_plan(plan, g2))
+    assert np.array_equal(_execute_schedule(spec, g, sched),
+                          _execute_plan(plan, g2))
 
 
 def test_fused_spatial_schedule_stays_clean():

@@ -1,9 +1,9 @@
 """Bit-identical equivalence of the compiled engine vs every executor.
 
 The engine's contract is *bit identity*, not approximate agreement:
-``execute_plan(compile_plan(spec, sched), grid)`` must produce exactly
-the arrays ``execute_schedule`` (or ``execute_overlapped`` for
-ghost-zone schedules, or ``run_blocked``/``run_pointwise`` for the
+``_execute_plan(compile_plan(spec, sched), grid)`` must produce exactly
+the arrays ``_execute_schedule`` (or ``execute_overlapped`` for
+ghost-zone schedules, or ``_run_blocked``/``run_pointwise`` for the
 lattice executors) produces — the compiled kernels only change array
 traversal and buffer reuse, never per-point float operation order.
 """
@@ -21,11 +21,13 @@ from repro.baselines import (
     spatial_schedule,
 )
 from repro.baselines.overlapped import execute_overlapped
-from repro.core import make_lattice, run_blocked, run_merged
+from repro.core import make_lattice
+from repro.core.executor import _run_blocked, _run_merged
 from repro.core.pointwise import run_pointwise
 from repro.core.schedules import tess_schedule
-from repro.engine import compile_plan, execute_plan
-from repro.runtime import execute_schedule
+from repro.engine import compile_plan
+from repro.engine.plan import _execute_plan
+from repro.runtime.schedule import _execute_schedule
 
 pytestmark = pytest.mark.engine
 
@@ -40,9 +42,9 @@ def _assert_identical(spec, sched, seed=11):
     if sched.private_tasks:
         ref = execute_overlapped(spec, g_ref, sched)
     else:
-        ref = execute_schedule(spec, g_ref, sched)
+        ref = _execute_schedule(spec, g_ref, sched)
     plan = compile_plan(spec, sched)
-    out = execute_plan(plan, g_cmp)
+    out = _execute_plan(plan, g_cmp)
     assert np.array_equal(ref, out)
     # the full buffer pair, not just the returned interior
     for b_ref, b_cmp in zip(g_ref.buffers, g_cmp.buffers):
@@ -128,9 +130,9 @@ def test_matches_run_blocked_and_pointwise():
 
     g_blocked, g_point = _pair(spec, shape)
     g_plan = g_blocked.copy()
-    ref_blocked = run_blocked(spec, g_blocked, lat, steps)
+    ref_blocked = _run_blocked(spec, g_blocked, lat, steps)
     ref_point = run_pointwise(spec, g_point, lat, steps)
-    out = execute_plan(plan, g_plan)
+    out = _execute_plan(plan, g_plan)
     assert np.array_equal(ref_blocked, out)
     assert np.array_equal(ref_point, out)
 
@@ -141,8 +143,8 @@ def test_matches_run_merged():
     lat = make_lattice(spec, shape, b)
     sched = tess_schedule(spec, shape, lat, steps, merged=True)
     g_merged, g_plan = _pair(spec, shape)
-    ref = run_merged(spec, g_merged, lat, steps)
-    out = execute_plan(compile_plan(spec, sched), g_plan)
+    ref = _run_merged(spec, g_merged, lat, steps)
+    out = _execute_plan(compile_plan(spec, sched), g_plan)
     assert np.array_equal(ref, out)
 
 
@@ -157,8 +159,8 @@ def test_fuse_false_slices_only():
     assert plan.stats.fused_actions == 0
     _, g = _pair(spec, (40, 40))
     g_ref, _ = _pair(spec, (40, 40))
-    assert np.array_equal(execute_schedule(spec, g_ref, sched),
-                          execute_plan(plan, g))
+    assert np.array_equal(_execute_schedule(spec, g_ref, sched),
+                          _execute_plan(plan, g))
 
 
 def test_batch_threshold_zero_slices_only():
@@ -169,8 +171,8 @@ def test_batch_threshold_zero_slices_only():
     assert plan.stats.sliced_actions > 0
     _, g = _pair(spec, (301,))
     g_ref, _ = _pair(spec, (301,))
-    assert np.array_equal(execute_schedule(spec, g_ref, sched),
-                          execute_plan(plan, g))
+    assert np.array_equal(_execute_schedule(spec, g_ref, sched),
+                          _execute_plan(plan, g))
 
 
 def test_shape_mismatch_rejected():
@@ -178,7 +180,7 @@ def test_shape_mismatch_rejected():
     sched = naive_schedule(spec, (64,), 4)
     plan = compile_plan(spec, sched)
     with pytest.raises(ValueError, match="shape"):
-        execute_plan(plan, Grid(spec, (65,), init="random", seed=0))
+        _execute_plan(plan, Grid(spec, (65,), init="random", seed=0))
 
 
 def test_periodic_rejected():
@@ -189,8 +191,8 @@ def test_periodic_rejected():
 
 
 def test_threaded_and_resilient_with_plan():
-    from repro.runtime import execute_threaded
-    from repro.runtime.resilience import execute_resilient
+    from repro.runtime.threadpool import _execute_threaded
+    from repro.runtime.resilience import _execute_resilient
 
     spec = get_stencil("heat2d")
     lat = make_lattice(spec, (40, 40), 4)
@@ -198,26 +200,26 @@ def test_threaded_and_resilient_with_plan():
     plan = compile_plan(spec, sched)
     g_ref, g_thr = _pair(spec, (40, 40))
     g_res = g_ref.copy()
-    ref = execute_schedule(spec, g_ref, sched)
+    ref = _execute_schedule(spec, g_ref, sched)
     assert np.array_equal(
-        ref, execute_threaded(spec, g_thr, sched, num_threads=3, plan=plan))
-    out, _ = execute_resilient(spec, g_res, sched, plan=plan, num_threads=2)
+        ref, _execute_threaded(spec, g_thr, sched, num_threads=3, plan=plan))
+    out, _ = _execute_resilient(spec, g_res, sched, plan=plan, num_threads=2)
     assert np.array_equal(ref, out)
 
 
 def test_resilient_with_plan_recovers_faults():
     from repro.runtime import FaultPlan, FaultSpec
-    from repro.runtime.resilience import ResiliencePolicy, execute_resilient
+    from repro.runtime.resilience import ResiliencePolicy, _execute_resilient
 
     spec = get_stencil("heat2d")
     lat = make_lattice(spec, (40, 40), 4)
     sched = tess_schedule(spec, (40, 40), lat, 9)
     plan = compile_plan(spec, sched)
     g_ref, g_flt = _pair(spec, (40, 40))
-    ref = execute_schedule(spec, g_ref, sched)
+    ref = _execute_schedule(spec, g_ref, sched)
     fp = FaultPlan([FaultSpec(kind="crash", group=1, task=0),
                     FaultSpec(kind="corrupt", group=3, task=1)])
-    out, report = execute_resilient(
+    out, report = _execute_resilient(
         spec, g_flt, sched, plan=plan, num_threads=2, fault_plan=fp,
         policy=ResiliencePolicy(max_task_retries=2))
     assert np.array_equal(ref, out)

@@ -20,10 +20,10 @@ from repro.runtime import (
     GuardViolation,
     InjectedFault,
     ResiliencePolicy,
-    execute_resilient,
-    execute_schedule,
-    execute_threaded,
 )
+from repro.runtime.resilience import _execute_resilient
+from repro.runtime.schedule import _execute_schedule
+from repro.runtime.threadpool import _execute_threaded
 from repro.runtime.schedule import RegionAction, RegionSchedule
 from repro.runtime.tracing import ExecutionTrace
 
@@ -58,7 +58,7 @@ def references(schedules):
     out = {}
     for name, sched in schedules.items():
         g = Grid(SPEC, SHAPE, seed=0)
-        out[name] = execute_schedule(SPEC, g, sched).copy()
+        out[name] = _execute_schedule(SPEC, g, sched).copy()
     return out
 
 
@@ -106,7 +106,7 @@ class TestRecoveryBitIdentical:
     def test_fault_free_matches_sequential(self, schedules, references):
         for name, sched in schedules.items():
             g = Grid(SPEC, SHAPE, seed=0)
-            out, report = execute_resilient(SPEC, g, sched)
+            out, report = _execute_resilient(SPEC, g, sched)
             assert np.array_equal(references[name], out), name
             assert report.restores == 0 and report.task_retries == 0
 
@@ -118,7 +118,7 @@ class TestRecoveryBitIdentical:
         plan = FaultPlan.random(sched.num_groups, rate=0.5, seed=seed,
                                 max_task=1)
         g = Grid(SPEC, SHAPE, seed=0)
-        out, report = execute_resilient(SPEC, g, sched, fault_plan=plan,
+        out, report = _execute_resilient(SPEC, g, sched, fault_plan=plan,
                                         num_threads=4)
         assert np.array_equal(references[scheme], out)
         if plan.faults:
@@ -134,7 +134,7 @@ class TestRecoveryBitIdentical:
         policy = ResiliencePolicy(task_deadline_s=0.02)
         g = Grid(SPEC, SHAPE, seed=0)
         trace = ExecutionTrace(scheme=sched.scheme)
-        out, report = execute_resilient(SPEC, g, sched, policy=policy,
+        out, report = _execute_resilient(SPEC, g, sched, policy=policy,
                                         fault_plan=plan, num_threads=4,
                                         trace=trace)
         assert np.array_equal(references["tess"], out)
@@ -152,7 +152,7 @@ class TestRecoveryBitIdentical:
         plan = FaultPlan([FaultSpec("corrupt", group=3, task=0)])
         policy = ResiliencePolicy(checkpoint_interval=0)
         g = Grid(SPEC, SHAPE, seed=0)
-        out, report = execute_resilient(SPEC, g, sched, policy=policy,
+        out, report = _execute_resilient(SPEC, g, sched, policy=policy,
                                         fault_plan=plan)
         assert np.array_equal(references["tess"], out)
         assert report.checkpoints_taken == 1  # the initial snapshot only
@@ -172,7 +172,7 @@ class TestRecoveryBitIdentical:
                                     stall_s=0.03)])
         policy = ResiliencePolicy(task_deadline_s=0.01)
         g = Grid(SPEC, SHAPE, seed=0)
-        out, report = execute_resilient(SPEC, g, sched, policy=policy,
+        out, report = _execute_resilient(SPEC, g, sched, policy=policy,
                                         fault_plan=plan)
         assert np.array_equal(references["tess"], out)
         assert report.task_retries == 1
@@ -185,7 +185,7 @@ class TestFailurePaths:
                                     max_hits=1000)])
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(ExecutionError) as ei:
-            execute_resilient(SPEC, g, sched, fault_plan=plan,
+            _execute_resilient(SPEC, g, sched, fault_plan=plan,
                               num_threads=4)
         assert ei.value.group == 2
         assert ei.value.scheme == sched.scheme
@@ -197,7 +197,7 @@ class TestFailurePaths:
                                     max_hits=1000)])
         g = Grid(SPEC, SHAPE, seed=0)
         try:
-            execute_resilient(SPEC, g, sched, fault_plan=plan,
+            _execute_resilient(SPEC, g, sched, fault_plan=plan,
                               num_threads=4,
                               trace=(tr := ExecutionTrace(sched.scheme)))
         except ExecutionError:
@@ -210,7 +210,7 @@ class TestFailurePaths:
         policy = ResiliencePolicy(max_task_retries=0, max_group_restarts=0)
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(ExecutionError):
-            execute_resilient(SPEC, g, sched, policy=policy,
+            _execute_resilient(SPEC, g, sched, policy=policy,
                               fault_plan=plan)
 
     def test_guard_violation_when_no_restarts_left(self, schedules):
@@ -219,7 +219,7 @@ class TestFailurePaths:
         policy = ResiliencePolicy(max_task_retries=0, max_group_restarts=0)
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(GuardViolation) as ei:
-            execute_resilient(SPEC, g, sched, policy=policy,
+            _execute_resilient(SPEC, g, sched, policy=policy,
                               fault_plan=plan)
         assert ei.value.group == 1
 
@@ -245,7 +245,7 @@ class TestFailurePaths:
         g = Grid(SPEC, SHAPE, seed=0)
         t0 = _time.perf_counter()
         with pytest.raises(StallTimeoutError) as ei:
-            execute_resilient(SPEC, g, sched, policy=policy,
+            _execute_resilient(SPEC, g, sched, policy=policy,
                               fault_plan=plan)
         elapsed = _time.perf_counter() - t0
         assert elapsed < 10.0, "stall was served instead of interrupted"
@@ -260,7 +260,7 @@ class TestFailurePaths:
                                                       references):
         policy = ResiliencePolicy(wall_deadline_s=120.0)
         g = Grid(SPEC, SHAPE, seed=0)
-        out, _ = execute_resilient(SPEC, g, schedules["tess"],
+        out, _ = _execute_resilient(SPEC, g, schedules["tess"],
                                    policy=policy)
         assert np.array_equal(references["tess"], out)
 
@@ -269,25 +269,25 @@ class TestFailurePaths:
         sched.add(0, [RegionAction(t=5, region=((0, 4), (0, 4)))])
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(ValueError, match="outside"):
-            execute_resilient(SPEC, g, sched)
+            _execute_resilient(SPEC, g, sched)
 
     def test_private_tasks_rejected(self, schedules):
         sched = RegionSchedule(scheme="ghost", shape=SHAPE, steps=STEPS,
                                private_tasks=True)
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(ValueError, match="private"):
-            execute_resilient(SPEC, g, sched)
+            _execute_resilient(SPEC, g, sched)
 
 
 class TestThreadedFailFast:
-    """Satellite: execute_threaded cancels + raises structured errors."""
+    """Satellite: _execute_threaded cancels + raises structured errors."""
 
     def test_crash_raises_execution_error(self, schedules):
         sched = schedules["tess"]
         plan = FaultPlan([FaultSpec("crash", group=1, task=0)])
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(ExecutionError) as ei:
-            execute_threaded(SPEC, g, sched, num_threads=4,
+            _execute_threaded(SPEC, g, sched, num_threads=4,
                              fault_plan=plan)
         assert ei.value.group == 1
         assert ei.value.scheme == sched.scheme
@@ -298,10 +298,10 @@ class TestThreadedFailFast:
         plan = FaultPlan([FaultSpec("crash", group=1, task=0)])
         g = Grid(SPEC, SHAPE, seed=0)
         with pytest.raises(ExecutionError, match="cancelled"):
-            execute_threaded(SPEC, g, sched, num_threads=2,
+            _execute_threaded(SPEC, g, sched, num_threads=2,
                              fault_plan=plan)
 
     def test_clean_run_unchanged(self, schedules, references):
         g = Grid(SPEC, SHAPE, seed=0)
-        out = execute_threaded(SPEC, g, schedules["tess"], num_threads=4)
+        out = _execute_threaded(SPEC, g, schedules["tess"], num_threads=4)
         assert np.array_equal(references["tess"], out)

@@ -29,14 +29,14 @@ from repro.runtime import (
     SanitizerViolation,
     apply_mutation,
     drop_action,
-    execute_resilient,
-    execute_threaded,
     merge_groups,
     sanitize_distributed_plan,
     sanitize_schedule,
     shift_region,
     verify_schedule,
 )
+from repro.runtime.resilience import _execute_resilient
+from repro.runtime.threadpool import _execute_threaded
 from repro.runtime.tracing import ExecutionTrace
 
 pytestmark = pytest.mark.sanitizer
@@ -257,24 +257,24 @@ class TestExecutorWiring:
         spec, bad = self._mutated()
         good = build("tess")
         g = Grid(spec, (300,), seed=1)
-        out = execute_threaded(spec, g, good, num_threads=2, sanitize=True)
+        out = _execute_threaded(spec, g, good, num_threads=2, sanitize=True)
         assert np.isfinite(out).all()
         with pytest.raises(SanitizerViolation):
-            execute_threaded(spec, Grid(spec, (300,), seed=1), bad,
+            _execute_threaded(spec, Grid(spec, (300,), seed=1), bad,
                              num_threads=2, sanitize=True)
 
     def test_execute_resilient_preflight_and_trace(self):
         spec, bad = self._mutated()
         policy = ResiliencePolicy(sanitize=True)
         trace = ExecutionTrace(scheme="tess")
-        out, report = execute_resilient(
+        out, report = _execute_resilient(
             spec, Grid(spec, (300,), seed=1), build("tess"),
             policy=policy, trace=trace)
         assert report.groups_run > 0
         assert trace.event_counts().get("sanitize") == 1
         trace_bad = ExecutionTrace(scheme="tess")
         with pytest.raises(SanitizerViolation) as exc:
-            execute_resilient(spec, Grid(spec, (300,), seed=1), bad,
+            _execute_resilient(spec, Grid(spec, (300,), seed=1), bad,
                               policy=policy, trace=trace_bad)
         assert exc.value.violations
         counts = trace_bad.event_counts()
@@ -368,16 +368,16 @@ class TestDistributedGhostBand:
             in report.violations[0].detail
 
     def test_execute_distributed_preflight(self):
-        from repro.distributed import execute_distributed
+        from repro.distributed.exec import _execute_distributed
 
         spec = get_stencil("heat1d")
         lat = make_lattice(spec, (400,), 4)
         g = Grid(spec, (400,), seed=0)
-        out, _ = execute_distributed(spec, g.copy(), lat, 8, 4,
+        out, _ = _execute_distributed(spec, g.copy(), lat, 8, 4,
                                      fault_plan=None, sanitize=True)
         assert np.isfinite(out).all()
         with pytest.raises(SanitizerViolation):
-            execute_distributed(spec, g.copy(), lat, 8, 4,
+            _execute_distributed(spec, g.copy(), lat, 8, 4,
                                 fault_plan=None, ghost_override=1,
                                 sanitize=True)
 

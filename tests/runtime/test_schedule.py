@@ -7,7 +7,7 @@ from repro.runtime.schedule import (
     RegionAction,
     RegionSchedule,
     ScheduledTask,
-    execute_schedule,
+    _execute_schedule,
     schedule_stats,
 )
 from repro.stencils import Grid, heat1d, heat2d
@@ -78,7 +78,7 @@ class TestExecuteSchedule:
         # deliberately add groups out of order: execution sorts them
         s.add(1, [RegionAction(1, ((0, 8),))])
         s.add(0, [RegionAction(0, ((0, 8),))])
-        out = execute_schedule(spec, g, s)
+        out = _execute_schedule(spec, g, s)
         g2 = Grid(spec, (8,), seed=0)
         from repro.stencils import reference_sweep
         ref = reference_sweep(spec, g2, 2)
@@ -89,14 +89,14 @@ class TestExecuteSchedule:
         g = Grid(spec, (8,), seed=0)
         s = RegionSchedule("x", (8,), 1)
         with pytest.raises(ValueError):
-            execute_schedule(spec, g, s)
+            _execute_schedule(spec, g, s)
 
     def test_rejects_shape_mismatch(self):
         spec = heat1d()
         g = Grid(spec, (9,), seed=0)
         s = RegionSchedule("x", (8,), 1)
         with pytest.raises(ValueError):
-            execute_schedule(spec, g, s)
+            _execute_schedule(spec, g, s)
 
 
 class TestStats:

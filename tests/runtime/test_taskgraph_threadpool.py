@@ -8,10 +8,10 @@ from repro.core import make_lattice
 from repro.core.schedules import tess_schedule
 from repro.runtime import (
     build_taskgraph,
-    execute_threaded,
     levelize,
     verify_schedule,
 )
+from repro.runtime.threadpool import _execute_threaded
 from repro.stencils import Grid, heat1d, heat2d, reference_sweep
 
 
@@ -65,7 +65,7 @@ class TestThreadpool:
         ref = reference_sweep(spec, g1, 6)
         lat = make_lattice(spec, shape, 2)
         sched = tess_schedule(spec, shape, lat, 6)
-        out = execute_threaded(spec, g2, sched, num_threads=threads)
+        out = _execute_threaded(spec, g2, sched, num_threads=threads)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
 
     def test_diamond_threaded(self):
@@ -74,7 +74,7 @@ class TestThreadpool:
         g2 = g1.copy()
         ref = reference_sweep(spec, g1, 8)
         sched = diamond_schedule(spec, (64,), 4, 8)
-        out = execute_threaded(spec, g2, sched, num_threads=3)
+        out = _execute_threaded(spec, g2, sched, num_threads=3)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
 
     def test_bad_thread_count(self):
@@ -82,7 +82,7 @@ class TestThreadpool:
         g = Grid(spec, (10,), seed=0)
         sched = naive_schedule(spec, (10,), 1)
         with pytest.raises(ValueError):
-            execute_threaded(spec, g, sched, num_threads=0)
+            _execute_threaded(spec, g, sched, num_threads=0)
 
 
 class TestLevelize:

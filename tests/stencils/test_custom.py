@@ -4,7 +4,8 @@ variable-coefficient kernels through the full tessellation stack."""
 import numpy as np
 import pytest
 
-from repro import Grid, make_lattice, run_blocked, run_merged, run_pointwise
+from repro import Grid, make_lattice, run_pointwise
+from repro.core.executor import _run_blocked, _run_merged
 from repro.stencils import reference_sweep
 from repro.stencils.custom import (
     VariableCoefficientOperator,
@@ -19,7 +20,7 @@ def _check_all_executors(spec, shape, b, steps, core_widths=None):
     g_ref = Grid(spec, shape, seed=7)
     ref = reference_sweep(spec, g_ref.copy(), steps)
     lat = make_lattice(spec, shape, b, core_widths=core_widths)
-    for runner in (run_pointwise, run_blocked, run_merged):
+    for runner in (run_pointwise, _run_blocked, _run_merged):
         out = runner(spec, g_ref.copy(), lat, steps)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12), runner.__name__
 

@@ -8,7 +8,8 @@ machinery off the symmetric path every other kernel uses.
 import numpy as np
 import pytest
 
-from repro import Grid, make_lattice, run_blocked, run_merged, run_pointwise
+from repro import Grid, make_lattice, run_pointwise
+from repro.core.executor import _run_blocked, _run_merged
 from repro.core.profiles import AxisProfile, TessLattice
 from repro.stencils import reference_sweep
 from repro.stencils.operators import LinearStencilOperator
@@ -30,7 +31,7 @@ class TestUpwindAdvection:
 
     def test_executors_match_reference(self):
         spec = upwind()
-        for runner in (run_pointwise, run_blocked, run_merged):
+        for runner in (run_pointwise, _run_blocked, _run_merged):
             g = Grid(spec, (60,), seed=3)
             ref = reference_sweep(spec, g.copy(), 9)
             lat = make_lattice(spec, (60,), 3)
@@ -60,7 +61,7 @@ class TestUpwindAdvection:
         g = Grid(spec, (20, 18), seed=4)
         ref = reference_sweep(spec, g.copy(), 7)
         lat = make_lattice(spec, (20, 18), 2)
-        out = run_merged(spec, g.copy(), lat, 7)
+        out = _run_merged(spec, g.copy(), lat, 7)
         assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
 
 
@@ -75,7 +76,7 @@ class TestSmallDomains:
         g = Grid(spec, (n,), seed=n)
         ref = reference_sweep(spec, g.copy(), 5)
         lat = make_lattice(spec, (n,), 2)
-        out = run_blocked(spec, g.copy(), lat, 5)
+        out = _run_blocked(spec, g.copy(), lat, 5)
         assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
 
     def test_tiny_2d_merged(self):
@@ -85,7 +86,7 @@ class TestSmallDomains:
         g = Grid(spec, (3, 2), seed=1)
         ref = reference_sweep(spec, g.copy(), 4)
         lat = make_lattice(spec, (3, 2), 2)
-        out = run_merged(spec, g.copy(), lat, 4)
+        out = _run_merged(spec, g.copy(), lat, 4)
         assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
 
     def test_depth_exceeding_steps(self):
@@ -96,7 +97,7 @@ class TestSmallDomains:
         g = Grid(spec, (40,), seed=2)
         ref = reference_sweep(spec, g.copy(), 3)
         lat = make_lattice(spec, (40,), 8)
-        out = run_blocked(spec, g.copy(), lat, 3)
+        out = _run_blocked(spec, g.copy(), lat, 3)
         assert np.allclose(ref, out, rtol=1e-12, atol=1e-13)
 
 

@@ -14,15 +14,14 @@ from repro import (
     get_stencil,
     make_lattice,
     reference_sweep,
-    run_blocked,
-    run_merged,
     run_pointwise,
 )
+from repro.core.executor import _run_blocked, _run_merged
 from repro.core.codegen import run_generated
 from repro.core.paper1d import run_paper1d
 from repro.core.paper2d import run_paper2d
 from repro.core.profiles import AxisProfile, TessLattice
-from repro.distributed import execute_distributed
+from repro.distributed.exec import _execute_distributed
 
 
 class TestHeatPhysics:
@@ -50,7 +49,7 @@ class TestHeatPhysics:
         grid = Grid(spec, (24, 24), seed=3)
         u0 = grid.interior(0).copy()
         lat = make_lattice(spec, (24, 24), 3)
-        out = run_merged(spec, grid, lat, 9)
+        out = _run_merged(spec, grid, lat, 9)
         assert out.max() <= u0.max() + 1e-12
         assert out.min() >= min(u0.min(), 0.0) - 1e-12
 
@@ -68,7 +67,7 @@ class TestHeatPhysics:
         spec = get_stencil("heat3d")
         grid = Grid(spec, (15, 15, 15), init="impulse")
         lat = make_lattice(spec, (15, 15, 15), 2)
-        out = run_blocked(spec, grid, lat, 5)
+        out = _run_blocked(spec, grid, lat, 5)
         # symmetry of the star kernel: all axis permutations agree
         assert np.allclose(out, out.transpose(1, 0, 2))
         assert np.allclose(out, out.transpose(2, 1, 0))
@@ -88,12 +87,12 @@ class TestLongRunEquivalence:
         lat = make_lattice(spec, shape, 3)
         outs = {
             "pointwise": run_pointwise(spec, g.copy(), lat, steps),
-            "blocked": run_blocked(spec, g.copy(), lat, steps),
-            "merged": run_merged(spec, g.copy(), lat, steps),
+            "blocked": _run_blocked(spec, g.copy(), lat, steps),
+            "merged": _run_merged(spec, g.copy(), lat, steps),
             "generated": run_generated(spec, g.copy(), steps, 3),
             "paper2d": run_paper2d(spec, g.copy(), 10, 10, 2, steps),
         }
-        outs["distributed"], _ = execute_distributed(
+        outs["distributed"], _ = _execute_distributed(
             spec, g.copy(), lat, steps, ranks=3
         )
         for name, out in outs.items():
@@ -109,7 +108,7 @@ class TestLongRunEquivalence:
         ref = reference_sweep(spec, g.copy(), steps)
         lat = make_lattice(spec, (n,), 8)
         for out in (
-            run_merged(spec, g.copy(), lat, steps),
+            _run_merged(spec, g.copy(), lat, steps),
             run_paper1d(spec, g.copy(), 32, 8, steps),
             run_generated(spec, g.copy(), steps, 8),
         ):
@@ -123,8 +122,8 @@ class TestLongRunEquivalence:
         g2 = g1.copy()
         lat = make_lattice(spec, shape, 2)
         ref = reference_sweep(spec, g1, 10)
-        run_blocked(spec, g2, lat, 4)
-        out = run_blocked(spec, g2, lat, 6, t0=4)
+        _run_blocked(spec, g2, lat, 4)
+        out = _run_blocked(spec, g2, lat, 6, t0=4)
         assert np.allclose(ref, out, rtol=1e-11, atol=1e-12)
 
 
@@ -143,6 +142,6 @@ class TestFloat32:
         assert g.at(0).dtype == np.float32
         ref = reference_sweep(spec, g.copy(), 6)
         lat = make_lattice(spec, (20, 20), 2)
-        out = run_merged(spec, g.copy(), lat, 6)
+        out = _run_merged(spec, g.copy(), lat, 6)
         assert out.dtype == np.float32
         assert np.allclose(ref, out, rtol=1e-5, atol=1e-6)
