@@ -40,17 +40,28 @@ from repro.api.config import (
 )
 from repro.api.deprecation import warn_legacy
 from repro.api.driver import drive_groups, phase_windows, run_actions
+from repro.api.fallback import run_with_fallback
 from repro.api.session import Session, execute, run
 from repro.api.stats import RunResult, RunStats, cache_delta
+from repro.runtime.qos import (
+    AdmissionRejected,
+    CancelToken,
+    QoSPolicy,
+    RunBudget,
+)
 
 __all__ = [
+    "AdmissionRejected",
     "BACKEND_ALIASES",
     "Backend",
     "BackendOutcome",
     "BackendUnsupported",
     "BuiltSchedule",
+    "CancelToken",
     "ENGINE_ALIASES",
     "ExecutionContext",
+    "QoSPolicy",
+    "RunBudget",
     "RunConfig",
     "RunResult",
     "RunStats",
@@ -68,5 +79,6 @@ __all__ = [
     "register_backend",
     "run",
     "run_actions",
+    "run_with_fallback",
     "warn_legacy",
 ]

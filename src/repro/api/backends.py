@@ -66,6 +66,9 @@ class ExecutionContext:
     lattice: object = None
     plan: object = None  #: CompiledPlan when the engine lowered one
     trace: object = None  #: ExecutionTrace collecting runtime events
+    #: armed RunBudget when the config carries a QoSPolicy with a
+    #: deadline or cancel token; None keeps the pre-QoS code path
+    budget: object = None
 
 
 @dataclass
@@ -167,11 +170,13 @@ class SerialBackend(Backend):
             from repro.engine.plan import _execute_plan
 
             out = _execute_plan(ctx.plan, ctx.grid,
-                                arena=ctx.config.options.get("arena"))
+                                arena=ctx.config.options.get("arena"),
+                                budget=ctx.budget)
         else:
             from repro.runtime.schedule import _execute_schedule
 
-            out = _execute_schedule(ctx.spec, ctx.grid, ctx.schedule)
+            out = _execute_schedule(ctx.spec, ctx.grid, ctx.schedule,
+                                    budget=ctx.budget)
         return BackendOutcome(interior=out)
 
 
@@ -191,7 +196,8 @@ class CompiledBackend(Backend):
         from repro.engine.plan import _execute_plan
 
         out = _execute_plan(ctx.plan, ctx.grid,
-                            arena=ctx.config.options.get("arena"))
+                            arena=ctx.config.options.get("arena"),
+                            budget=ctx.budget)
         return BackendOutcome(interior=out)
 
 
@@ -210,6 +216,7 @@ class ThreadedBackend(Backend):
             num_threads=max(1, cfg.threads),
             fault_plan=cfg.fault_plan,
             plan=ctx.plan,
+            budget=ctx.budget,
         )
         return BackendOutcome(interior=out)
 
@@ -235,6 +242,7 @@ class ResilientBackend(Backend):
             num_threads=max(1, cfg.threads),
             trace=ctx.trace,
             plan=ctx.plan,
+            budget=ctx.budget,
         )
         return BackendOutcome(interior=out, resilience=report)
 
@@ -260,7 +268,8 @@ class OverlappedBackend(Backend):
     def execute(self, ctx: ExecutionContext) -> BackendOutcome:
         from repro.baselines.overlapped import execute_overlapped
 
-        out = execute_overlapped(ctx.spec, ctx.grid, ctx.schedule)
+        out = execute_overlapped(ctx.spec, ctx.grid, ctx.schedule,
+                                 budget=ctx.budget)
         return BackendOutcome(interior=out)
 
 
@@ -287,7 +296,8 @@ class PointwiseBackend(Backend):
                             ctx.config.steps,
                             t0=opts.get("t0", 0),
                             on_update=opts.get("on_update"),
-                            validate=opts.get("validate", True))
+                            validate=opts.get("validate", True),
+                            budget=ctx.budget)
         return BackendOutcome(interior=out)
 
 
@@ -307,7 +317,8 @@ class BlockedBackend(Backend):
                            t0=opts.get("t0", 0),
                            plan=opts.get("phase_plan"),
                            on_block=opts.get("on_block"),
-                           validate=opts.get("validate", True))
+                           validate=opts.get("validate", True),
+                           budget=ctx.budget)
         return BackendOutcome(interior=out)
 
 
@@ -326,7 +337,8 @@ class MergedBackend(Backend):
                           ctx.config.steps,
                           t0=opts.get("t0", 0),
                           on_block=opts.get("on_block"),
-                          validate=opts.get("validate", True))
+                          validate=opts.get("validate", True),
+                          budget=ctx.budget)
         return BackendOutcome(interior=out)
 
 
@@ -351,6 +363,7 @@ class DistributedBackend(Backend):
             ghost_override=cfg.ghost,
             trace=ctx.trace,
             sanitize=cfg.sanitize,
+            budget=ctx.budget,
         )
         return BackendOutcome(interior=out, comm=stats)
 
@@ -374,6 +387,7 @@ class ElasticBackend(Backend):
             ghost_override=cfg.ghost,
             trace=ctx.trace,
             sanitize=cfg.sanitize,
+            budget=ctx.budget,
         )
         return BackendOutcome(interior=out, comm=stats)
 

@@ -120,6 +120,12 @@ class RunConfig:
     max_phase_restarts: int = 2
     elastic: Any = None  #: Optional[ElasticConfig]
 
+    # -- run-level QoS -----------------------------------------------
+    #: Optional[QoSPolicy] — deadline, cancel token, admission ceiling
+    #: and fallback chain (see :mod:`repro.runtime.qos`).  None keeps
+    #: the exact pre-QoS code path (zero-overhead default).
+    qos: Any = None
+
     # -- instrumentation / escape hatch ------------------------------
     trace: Any = None  #: Optional[ExecutionTrace]
     #: backend-specific extras (``t0``, ``on_block``, ``arena``, ...)
@@ -150,6 +156,8 @@ class RunConfig:
             raise ValueError(f"ranks must be >= 1, got {cfg.ranks}")
         if cfg.b < 1:
             raise ValueError(f"time-tile depth b must be >= 1, got {cfg.b}")
+        if cfg.qos is not None:
+            cfg = replace(cfg, qos=cfg.qos.normalized())
         return cfg
 
     def with_overrides(self, overrides: Dict[str, Any]) -> "RunConfig":

@@ -66,7 +66,8 @@ def run_actions(spec, grid, actions: Iterable) -> int:
     return pts
 
 
-def drive_groups(schedule, run_one: TaskRunner, num_threads: int = 1) -> None:
+def drive_groups(schedule, run_one: TaskRunner, num_threads: int = 1,
+                 budget=None) -> None:
     """Run a schedule's barrier groups in order through ``run_one``.
 
     Sequential (``num_threads <= 1``): tasks of each group run in their
@@ -76,16 +77,27 @@ def drive_groups(schedule, run_one: TaskRunner, num_threads: int = 1) -> None:
     the next group (the barrier); the first failure cancels the group's
     pending tasks and raises :class:`ExecutionError` carrying the
     scheme/group/task context.
+
+    ``budget`` is the run-level :class:`~repro.runtime.qos.RunBudget`;
+    when armed it is checked before each barrier group, so a deadline
+    or cancellation stops the drive at the next group boundary with
+    every already-started task joined (no worker still writing).
     """
     groups = schedule.groups()
     ordered = sorted(groups)
+    if budget is not None:
+        budget.check(f"{schedule.scheme} drive entry")
     if num_threads <= 1:
         for gi, gid in enumerate(ordered):
+            if budget is not None:
+                budget.check(f"group {gid}")
             for ti, task in enumerate(groups[gid]):
                 run_one(gi, gid, ti, task)
         return
     with ThreadPoolExecutor(max_workers=num_threads) as pool:
         for gi, gid in enumerate(ordered):
+            if budget is not None:
+                budget.check(f"group {gid}")
             tasks = groups[gid]
             futures = {
                 pool.submit(run_one, gi, gid, ti, task): task

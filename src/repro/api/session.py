@@ -113,6 +113,23 @@ class Session:
     def _pipeline(self, config: RunConfig, *, grid=None, schedule=None,
                   lattice=None, plan=None,
                   params: Optional[Tuple] = None) -> RunResult:
+        """Dispatch one run: straight through, or via the QoS fallback
+        chain when the config carries one.  ``config.qos is None`` takes
+        the exact pre-QoS code path (zero-overhead default)."""
+        qos = config.qos
+        if qos is not None and qos.fallback:
+            from repro.api.fallback import run_with_fallback
+
+            return run_with_fallback(self, config, grid=grid,
+                                     schedule=schedule, lattice=lattice,
+                                     plan=plan, params=params)
+        return self._pipeline_once(config, grid=grid, schedule=schedule,
+                                   lattice=lattice, plan=plan,
+                                   params=params)
+
+    def _pipeline_once(self, config: RunConfig, *, grid=None,
+                       schedule=None, lattice=None, plan=None,
+                       params: Optional[Tuple] = None) -> RunResult:
         spec = self.spec
         backend = get_backend(config.backend)
         phases: Dict[str, float] = {}
@@ -129,6 +146,16 @@ class Session:
         if shape is None:
             shape = grid.shape if grid is not None else self.default_shape()
             config = replace(config, shape=tuple(shape))
+
+        # admit + arm the QoS budget ------------------------------------
+        budget = None
+        if config.qos is not None:
+            from repro.runtime.qos import RunBudget, admit
+
+            admit(spec, tuple(shape), config)  # before any allocation
+            # armed here so build/lower time counts against the
+            # deadline; each fallback hop re-enters and re-arms
+            budget = RunBudget.from_policy(config.qos)
 
         # build ---------------------------------------------------------
         need_schedule = backend.kind == "schedule" and schedule is None \
@@ -189,7 +216,7 @@ class Session:
         snapshot = grid.copy() if config.verify else None
         ctx = ExecutionContext(spec=spec, grid=grid, config=config,
                                schedule=schedule, lattice=lattice,
-                               plan=plan, trace=trace)
+                               plan=plan, trace=trace, budget=budget)
         t0 = time.perf_counter()
         outcome = backend.execute(ctx)
         phases["execute"] = time.perf_counter() - t0

@@ -72,6 +72,11 @@ class RunStats:
     #: plan-cache hits for this run
     cache_hits: int = 0
 
+    #: fallback hops the QoS chain took to produce this result: one
+    #: dict per hop (``from``/``to`` backend, ``error`` class name,
+    #: ``detail``); empty for a run that succeeded on its primary
+    degradations: List[Dict[str, Any]] = field(default_factory=list)
+
     #: result of the verify phase (None = verification not requested)
     verified: Optional[bool] = None
 
@@ -116,6 +121,7 @@ class RunStats:
             "events": self.event_counts(),
             "plan_compiles": self.plan_compiles,
             "cache_hits": self.cache_hits,
+            "degradations": [dict(hop) for hop in self.degradations],
             "verified": self.verified,
         }
         for name in ("comm", "resilience", "cache"):
@@ -142,6 +148,9 @@ class RunStats:
         if self.plan_compiles or self.cache_hits:
             bits.append(f"plan_compiles={self.plan_compiles}")
             bits.append(f"cache_hits={self.cache_hits}")
+        if self.degradations:
+            hops = "->".join(h.get("to", "?") for h in self.degradations)
+            bits.append(f"degraded={hops}")
         if self.verified is not None:
             bits.append(f"verified={'OK' if self.verified else 'MISMATCH'}")
         return " ".join(bits)

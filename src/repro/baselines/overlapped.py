@@ -85,7 +85,8 @@ def overlapped_schedule(
 
 
 def execute_overlapped(spec: StencilSpec, grid: Grid,
-                       schedule: RegionSchedule) -> "np.ndarray":
+                       schedule: RegionSchedule,
+                       budget=None) -> "np.ndarray":
     """Ghost-zone execution: snapshot, iterate privately, write back core.
 
     Per barrier group (one time tile): **pass 1** snapshots every
@@ -103,7 +104,11 @@ def execute_overlapped(spec: StencilSpec, grid: Grid,
         )
     halo = spec.halo
     groups = schedule.groups()
+    if budget is not None:
+        budget.check("overlapped entry")
     for gid in sorted(groups):
+        if budget is not None:
+            budget.check(f"group {gid}")
         tasks = groups[gid]
         snapshots = []
         # pass 1: snapshot inputs at the tile's start time

@@ -33,16 +33,22 @@ Commands
 
 ``run`` and ``dist`` take ``--resilient``/``--fail-fast`` plus
 ``--inject kind@group[/task][xN]`` fault specs (see
-``docs/resilience.md``), and ``--sanitize`` to refuse structurally
-illegal schedules before execution (see ``docs/sanitizer.md``).
+``docs/resilience.md``), ``--sanitize`` to refuse structurally
+illegal schedules before execution (see ``docs/sanitizer.md``), and
+the QoS flags ``--deadline SECONDS`` / ``--fallback a,b,...`` (see
+``docs/reliability.md``).
 Errors map to distinct exit codes instead of tracebacks:
-1 = numerical mismatch, 2 = usage/:class:`ValueError`,
-3 = :class:`ExecutionError`, 4 = :class:`GuardViolation` (invariant
+1 = numerical mismatch, 2 = usage/:class:`ValueError` (including
+:class:`~repro.runtime.qos.AdmissionRejected`),
+3 = :class:`ExecutionError` (including :class:`RunCancelled`),
+4 = :class:`GuardViolation` (invariant
 guard / ghost-band divergence), 5 = :class:`SanitizerViolation`
 (structurally illegal schedule), 6 = :class:`RankLostError` (rank
 process lost, respawn budget spent), 7 = :class:`ExchangeTimeoutError`
 (boundary band never arrived within the retry budget),
-8 = :class:`ChecksumMismatchError` (band payload kept failing its CRC).
+8 = :class:`ChecksumMismatchError` (band payload kept failing its CRC),
+9 = :class:`RunDeadlineExceeded` (the ``--deadline`` budget expired
+and no fallback backend finished in time).
 """
 
 from __future__ import annotations
@@ -54,6 +60,7 @@ from typing import List, Optional
 from repro.api.builder import SCHEMES
 from repro.runtime.errors import (
     EXIT_CHECKSUM,
+    EXIT_DEADLINE,
     EXIT_EXCHANGE_TIMEOUT,
     EXIT_EXECUTION,
     EXIT_GUARD,
@@ -65,6 +72,7 @@ from repro.runtime.errors import (
     ExecutionError,
     GuardViolation,
     RankLostError,
+    RunDeadlineExceeded,
     SanitizerViolation,
 )
 
@@ -100,6 +108,7 @@ def _build_parser() -> argparse.ArgumentParser:
                      "kernels — see docs/performance.md)")
     _add_resilience_args(run)
     _add_sanitizer_args(run)
+    _add_qos_args(run)
     run.add_argument("--checkpoint-every", type=int, default=1,
                      metavar="N", help="checkpoint every N barrier "
                      "groups in --resilient mode (0 = initial only)")
@@ -157,6 +166,7 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="per-rank respawn budget for the elastic "
                       "backend in --resilient mode")
     _add_resilience_args(dist)
+    _add_qos_args(dist)
     dist.add_argument("--ghost", type=int, default=None,
                       help="override the exchanged ghost-band width "
                       "(the divergence detector still validates the "
@@ -219,6 +229,33 @@ def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
                      "crash|corrupt|stall|drop|garble (shared-memory / "
                      "simulated paths) or kill_rank|stall_rank|drop_msg|"
                      "flip_bits (elastic process runtime) (repeatable)")
+
+
+def _add_qos_args(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="run-level deadline: abort at the next "
+                     "cooperative boundary once the budget is spent "
+                     "(exit 9; see docs/reliability.md)")
+    sub.add_argument("--fallback", default=None, metavar="A,B,...",
+                     help="comma-separated backend chain to degrade to "
+                     "when the primary backend refuses, loses a rank "
+                     "for good or blows the deadline (e.g. "
+                     "'threaded,serial'); hops are recorded in the "
+                     "run stats")
+
+
+def _qos_policy(args):
+    """Build the QoSPolicy from --deadline/--fallback (None when unused)."""
+    fallback = tuple(
+        name.strip() for name in (args.fallback or "").split(",")
+        if name.strip()
+    )
+    if args.deadline is None and not fallback:
+        return None
+    from repro.runtime.qos import QoSPolicy
+
+    return QoSPolicy(deadline_s=args.deadline, fallback=fallback)
 
 
 def _add_sanitizer_args(sub: argparse.ArgumentParser) -> None:
@@ -287,7 +324,7 @@ def cmd_run(args) -> int:
         mutations=tuple(args.mutate),
         engine=args.engine, threads=args.threads,
         sanitize=args.sanitize, verify=True,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, qos=_qos_policy(args),
     ).normalized()
     session = Session(spec)
     shape = config.shape or session.default_shape()
@@ -326,6 +363,8 @@ def cmd_run(args) -> int:
     result = session.execute(None, sched, config=config,
                              lattice=built.lattice, params=built.params)
     stats = result.stats
+    for hop in stats.degradations:
+        print(f"degraded: {hop['from']} -> {hop['to']} ({hop['error']})")
     if args.sanitize and result.sanitizer is not None:
         print(f"sanitizer: {result.sanitizer.describe()}")
     if result.plan is not None and stats.engine == "compiled":
@@ -410,7 +449,7 @@ def cmd_dist(args) -> int:
     config = RunConfig(
         shape=shape, steps=args.steps, scheme="tess", b=args.depth,
         backend=backend, verify=True, sanitize=args.sanitize,
-        fault_plan=fault_plan, ghost=args.ghost,
+        fault_plan=fault_plan, ghost=args.ghost, qos=_qos_policy(args),
     )
     if backend == "elastic":
         from repro.distributed import ElasticConfig, RetryPolicy
@@ -443,11 +482,19 @@ def cmd_dist(args) -> int:
     result = Session(spec).run(config)
     comm = result.stats.comm
     ok = bool(result.stats.verified)
-    print(f"{ranks} {kind} on {shape}: "
-          f"{'verified OK' if ok else 'MISMATCH'}; "
-          f"{comm.messages} messages, {comm.bytes_sent} bytes")
-    if comm.had_faults:
-        print(f"resilience: {comm.describe_resilience()}")
+    for hop in result.stats.degradations:
+        print(f"degraded: {hop['from']} -> {hop['to']} "
+              f"({hop['error']}: {hop['detail']})")
+    if comm is not None:
+        print(f"{ranks} {kind} on {shape}: "
+              f"{'verified OK' if ok else 'MISMATCH'}; "
+              f"{comm.messages} messages, {comm.bytes_sent} bytes")
+        if comm.had_faults:
+            print(f"resilience: {comm.describe_resilience()}")
+    else:
+        # the fallback chain landed on a shared-memory backend
+        print(f"{result.stats.backend} fallback on {shape}: "
+              f"{'verified OK' if ok else 'MISMATCH'}")
     rows = []
     base = None
     for n in args.nodes:
@@ -549,6 +596,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ChecksumMismatchError as e:
         print(f"checksum mismatch: {e}", file=sys.stderr)
         return EXIT_CHECKSUM
+    except RunDeadlineExceeded as e:
+        print(f"deadline exceeded: {e}", file=sys.stderr)
+        return EXIT_DEADLINE
     except ExecutionError as e:
         print(f"execution failed: {e}", file=sys.stderr)
         return EXIT_EXECUTION

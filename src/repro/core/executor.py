@@ -135,6 +135,7 @@ def _run_blocked(
     plan: Optional[PhasePlan] = None,
     on_block: Optional[BlockHook] = None,
     validate: bool = True,
+    budget=None,
 ) -> np.ndarray:
     """Unmerged block walk (the ``baseline:blocked`` backend's engine)."""
     from repro.api.driver import phase_windows
@@ -154,7 +155,11 @@ def _run_blocked(
     b = lattice.b
     slopes = _lattice_slopes(lattice)
     t_end = t0 + steps
+    if budget is not None:
+        budget.check("blocked entry")
     for tt, span in phase_windows(t0, t_end, b):
+        if budget is not None:
+            budget.check(f"phase t={tt}")
         for stage_plan in plan.stages:
             _run_stage(spec, grid, stage_plan.blocks,
                        f"stage{stage_plan.stage}", b, slopes, tt, span,
@@ -206,6 +211,7 @@ def _run_merged(
     t0: int = 0,
     on_block: Optional[BlockHook] = None,
     validate: bool = True,
+    budget=None,
 ) -> np.ndarray:
     """Merged block walk (the ``baseline:merged`` backend's engine)."""
     from repro.api.driver import phase_windows
@@ -235,6 +241,8 @@ def _run_merged(
     # the lowest active stage (#uncut axes) plays the B_0 role
     omin = sum(1 for p in lattice.profiles if not p.cores)
 
+    if budget is not None:
+        budget.check("merged entry")
     # prologue: the very first lowest stage runs unmerged
     span0 = min(b, t_end - t0)
     if span0 > 0:
@@ -243,6 +251,8 @@ def _run_merged(
 
     level = 0
     for tt, span in phase_windows(t0, t_end, b):
+        if budget is not None:
+            budget.check(f"phase t={tt}")
         span_next = min(b, max(0, t_end - tt - b))
         cur = levels[level]
         # interior stages between the merge endpoints

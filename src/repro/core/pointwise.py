@@ -75,6 +75,7 @@ def run_pointwise(
     t0: int = 0,
     on_update: Optional[UpdateHook] = None,
     validate: bool = True,
+    budget=None,
 ) -> np.ndarray:
     """Advance ``grid`` by ``steps`` using the mask-based tessellation.
 
@@ -103,8 +104,12 @@ def run_pointwise(
     max_span = min(b, steps)
     counts = [_stage_count_array(a_vecs, b, s) for s in range(max_span)]
 
+    if budget is not None:
+        budget.check("pointwise entry")
     tt = t0
     while tt < t_end:
+        if budget is not None:
+            budget.check(f"phase t={tt}")
         span = min(b, t_end - tt)
         for stage in range(d + 1):
             for s in range(span):

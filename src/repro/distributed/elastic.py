@@ -37,6 +37,7 @@ removed on success *and* on coordinator abort (the ``finally`` in
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
 import shutil
 import tempfile
@@ -144,8 +145,10 @@ class _Coordinator:
         config: ElasticConfig,
         ghost_override: Optional[int],
         trace: Optional[ExecutionTrace],
+        budget=None,
     ):
         self.spec = spec
+        self.budget = budget
         self.shape = grid.shape
         self.steps = steps
         self.ranks = ranks
@@ -159,6 +162,12 @@ class _Coordinator:
         self.n_phases = (steps + lattice.b - 1) // lattice.b
         self.ckpt_dir = tempfile.mkdtemp(prefix="repro-elastic-",
                                          dir=config.checkpoint_dir)
+        # a killed *parent* never reaches shutdown()'s rmtree; a
+        # dedicated callable (so it can be unregistered on the normal
+        # path) makes interpreter exit sweep the spill dir too
+        self._cleanup = lambda d=self.ckpt_dir: shutil.rmtree(
+            d, ignore_errors=True)
+        atexit.register(self._cleanup)
         self.base_cfg = WorkerConfig(
             rank=0, ranks=ranks, spec=spec, lattice=lattice,
             shape=tuple(grid.shape), steps=steps, axis=axis,
@@ -189,6 +198,10 @@ class _Coordinator:
             self.trace.record_event(kind, group, detail=detail)
 
     def _check_deadline(self) -> None:
+        # the caller's QoS budget shares the coordinator's poll clock;
+        # it outranks the coordinator's own wall-clock backstop
+        if self.budget is not None:
+            self.budget.check(f"elastic phase {self.committed}")
         if time.monotonic() - self.t0 > self.cfg.deadline_s:
             raise ExecutionError(
                 f"elastic run exceeded the {self.cfg.deadline_s:.1f}s "
@@ -497,6 +510,7 @@ class _Coordinator:
         for r in range(self.ranks):
             self._kill(r)
         shutil.rmtree(self.ckpt_dir, ignore_errors=True)
+        atexit.unregister(self._cleanup)
 
 
 def _execute_elastic(
@@ -512,6 +526,7 @@ def _execute_elastic(
     ghost_override: Optional[int] = None,
     trace: Optional[ExecutionTrace] = None,
     sanitize: bool = False,
+    budget=None,
 ) -> Tuple[np.ndarray, CommStats]:
     """Process-based execution (the ``elastic`` backend's engine).
 
@@ -540,10 +555,12 @@ def _execute_elastic(
                                detail=f"{len(san.violations)} violation(s), "
                                       f"{san.actions_checked} action(s)")
         san.raise_if_violations()
+    if budget is not None:
+        budget.check("elastic entry")  # before any rank is spawned
     coord = _Coordinator(
         spec, grid, lattice, steps, ranks, axis,
         fault_plan=fault_plan, config=config or ElasticConfig(),
-        ghost_override=ghost_override, trace=trace,
+        ghost_override=ghost_override, trace=trace, budget=budget,
     )
     try:
         return coord.run()

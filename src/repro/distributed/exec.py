@@ -129,6 +129,7 @@ def _execute_distributed(
     ghost_override: Optional[int] = None,
     trace: Optional[ExecutionTrace] = None,
     sanitize: bool = False,
+    budget=None,
 ) -> Tuple[np.ndarray, CommStats]:
     """Rank simulation (the ``distributed`` backend's engine).
 
@@ -283,8 +284,12 @@ def _execute_distributed(
 
     from repro.api.driver import phase_windows
 
+    if budget is not None:
+        budget.check("distributed entry")
     stage_counter = 0
     for tt, span in phase_windows(0, steps, b):
+        if budget is not None:
+            budget.check(f"phase t={tt}")
         phase_ckpt = (
             [[buf.copy() for buf in bufs] for bufs in locals_]
             if resilient else None
@@ -294,6 +299,8 @@ def _execute_distributed(
             try:
                 for si, sp in enumerate(plan.stages):
                     stage_idx = stage_counter + si
+                    if budget is not None:
+                        budget.check(f"stage {stage_idx}")
                     dirty = [np.zeros(grid.shape, dtype=bool)
                              for _ in range(ranks)]
                     for r in range(ranks):

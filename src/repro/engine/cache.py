@@ -99,6 +99,9 @@ class CacheStats:
     evictions: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
+    #: disk entries whose pickle failed to load (corrupted/truncated);
+    #: each is quarantined to ``<path>.corrupt`` and treated as a miss
+    disk_corrupt: int = 0
     compile_seconds: float = 0.0
 
     def reset(self) -> None:
@@ -107,6 +110,7 @@ class CacheStats:
         self.evictions = 0
         self.disk_hits = 0
         self.disk_stores = 0
+        self.disk_corrupt = 0
         self.compile_seconds = 0.0
 
     def as_dict(self) -> dict:
@@ -116,6 +120,7 @@ class CacheStats:
             "evictions": self.evictions,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
+            "disk_corrupt": self.disk_corrupt,
             "compile_seconds": self.compile_seconds,
         }
 
@@ -152,8 +157,19 @@ class PlanCache:
             with open(path, "rb") as fh:
                 stored_key, plan = pickle.load(fh)
         except Exception:
+            # corrupted/truncated pickle (a crashed writer, disk rot):
+            # quarantine the file so it is never re-read — leaving it in
+            # place would pay the failed unpickle on every future miss —
+            # and fall through to a recompile
+            self.stats.disk_corrupt += 1
+            try:
+                os.replace(path, f"{path}.corrupt")
+            except OSError:
+                pass
             return None
         if stored_key != key or not isinstance(plan, CompiledPlan):
+            # a healthy pickle of the wrong thing (hash collision,
+            # foreign file): a plain miss, not corruption
             return None
         return plan
 

@@ -645,8 +645,14 @@ def _compile_private_task(ctx: _CompileCtx, task) -> Optional[_PrivateTask]:
 # ---------------------------------------------------------------------------
 
 def _execute_plan(plan: CompiledPlan, grid: Grid,
-                  arena: Optional[ScratchArena] = None) -> np.ndarray:
-    """Compiled-stream execution (the ``compiled`` backend's engine)."""
+                  arena: Optional[ScratchArena] = None,
+                  budget=None) -> np.ndarray:
+    """Compiled-stream execution (the ``compiled`` backend's engine).
+
+    ``budget`` is the run-level :class:`~repro.runtime.qos.RunBudget`;
+    when armed it is checked at entry and between group streams (the
+    compiled path's barrier boundaries).
+    """
     if grid.shape != plan.shape:
         raise ValueError(
             f"grid shape {grid.shape} != plan shape {plan.shape}"
@@ -658,7 +664,11 @@ def _execute_plan(plan: CompiledPlan, grid: Grid,
     spec = plan.spec
     if arena is None:
         arena = thread_arena()
-    for stream in plan.streams:
+    if budget is not None:
+        budget.check(f"{plan.scheme} plan entry")
+    for si, stream in enumerate(plan.streams):
+        if budget is not None:
+            budget.check(f"stream {si}")
         for unit in stream:
             unit.run(bufs, flats, spec, arena)
     return grid.interior(plan.steps)

@@ -30,13 +30,21 @@ tracebacks:
   terminal verdicts (:mod:`repro.distributed.elastic`): a rank process
   died (or was killed as a straggler) and the respawn budget is spent,
   a boundary-band message never arrived within its retry budget, or a
-  payload kept failing its CRC across retransmits.
+  payload kept failing its CRC across retransmits;
+* :class:`RunDeadlineExceeded` / :class:`RunCancelled` — the
+  *run-level* QoS verdicts (:mod:`repro.runtime.qos`): the caller's
+  :class:`~repro.runtime.qos.QoSPolicy` deadline expired at a
+  cooperative check point, or its cancel token was tripped.  Distinct
+  from the per-task :class:`DeadlineExceeded` soft deadline and the
+  resilient executor's :class:`StallTimeoutError` wall clock, both of
+  which are internal to one executor's recovery policy.
 
 Exit-code mapping used by ``python -m repro`` (see
 :func:`repro.cli.main`): usage/:class:`ValueError` → 2,
 :class:`ExecutionError` → 3, :class:`GuardViolation` → 4,
 :class:`SanitizerViolation` → 5, :class:`RankLostError` → 6,
-:class:`ExchangeTimeoutError` → 7, :class:`ChecksumMismatchError` → 8.
+:class:`ExchangeTimeoutError` → 7, :class:`ChecksumMismatchError` → 8,
+:class:`RunDeadlineExceeded` → 9.
 """
 
 from __future__ import annotations
@@ -53,6 +61,7 @@ EXIT_SANITIZER = 5
 EXIT_RANK_LOST = 6
 EXIT_EXCHANGE_TIMEOUT = 7
 EXIT_CHECKSUM = 8
+EXIT_DEADLINE = 9
 
 
 class InjectedFault(RuntimeError):
@@ -165,6 +174,45 @@ class StallTimeoutError(ExecutionError):
             f"{elapsed_s:.3f}s elapsed > {deadline_s:.3f}s budget",
             group=group,
         )
+
+
+class RunDeadlineExceeded(ExecutionError):
+    """The caller's run-level QoS deadline expired.
+
+    Raised by :meth:`repro.runtime.qos.RunBudget.check` at a
+    cooperative boundary (executor entry, barrier group, time-tiled
+    phase, coordinator poll).  Unlike the per-task soft
+    :class:`DeadlineExceeded` and the resilient executor's
+    :class:`StallTimeoutError`, this budget belongs to the *caller*:
+    it spans the whole run attempt, is honoured identically by every
+    backend, and maps to its own CLI exit code 9.  It is retryable on
+    a *fallback* boundary only — a cheaper backend may still finish a
+    fresh attempt within its own re-armed budget.
+    """
+
+    def __init__(self, where: str, elapsed_s: float, deadline_s: float):
+        self.where = where
+        self.elapsed_s = elapsed_s
+        self.deadline_s = deadline_s
+        ExecutionError.__init__(
+            self,
+            f"run deadline exceeded at {where!r}: "
+            f"{elapsed_s:.3f}s elapsed > {deadline_s:.3f}s budget",
+        )
+
+
+class RunCancelled(ExecutionError):
+    """The caller tripped the run's cancel token.
+
+    Cooperative: execution stops at the next budget check point with
+    buffers and checkpoint directories cleaned up.  Never retried by
+    the fallback chain — cancellation is a caller decision, not a
+    backend failure.
+    """
+
+    def __init__(self, where: str):
+        self.where = where
+        ExecutionError.__init__(self, f"run cancelled at {where!r}")
 
 
 class RankLostError(ExecutionError):

@@ -47,8 +47,14 @@ from repro.runtime.errors import (
     ExecutionError,
     GuardViolation,
     InjectedFault,
+    RunCancelled,
+    RunDeadlineExceeded,
     StallTimeoutError,
 )
+
+#: errors a retry/replay can never recover from: the budget they spent
+#: is global (wall clock) or the verdict is the caller's (QoS)
+_NON_RETRYABLE = (StallTimeoutError, RunDeadlineExceeded, RunCancelled)
 from repro.runtime.faults import FaultPlan, poison_task_output
 from repro.runtime.schedule import RegionSchedule, ScheduledTask
 from repro.runtime.tracing import ExecutionTrace
@@ -249,7 +255,7 @@ def _attempt_task(
                                   fault_plan, policy.task_deadline_s, wall,
                                   units)
             return
-        except StallTimeoutError:
+        except _NON_RETRYABLE:
             # the budget is global: retrying cannot recover spent time
             raise
         except Exception as exc:
@@ -330,6 +336,7 @@ def _execute_resilient(
     num_threads: int = 1,
     trace: Optional[ExecutionTrace] = None,
     plan=None,
+    budget=None,
 ) -> Tuple[np.ndarray, ResilienceReport]:
     """Checkpoint/restart execution (the ``resilient`` backend's engine).
 
@@ -392,6 +399,8 @@ def _execute_resilient(
     report = ResilienceReport(scheme=schedule.scheme)
     wall = (_WallClock(time.perf_counter(), policy.wall_deadline_s)
             if policy.wall_deadline_s is not None else None)
+    if budget is not None:
+        budget.check(f"{schedule.scheme} resilient entry")
     ckpt = _take_checkpoint(grid, 0, report, trace,
                             gids[0] if gids else 0)
     failures: dict = {}  # group index -> failures so far
@@ -401,6 +410,8 @@ def _execute_resilient(
         since_ckpt = 0
         while i < len(gids):
             gid = gids[i]
+            if budget is not None:
+                budget.check(f"group {gid}")
             if wall is not None and wall.expired():
                 raise StallTimeoutError(
                     f"group {gid}", elapsed_s=wall.elapsed(),
@@ -445,7 +456,7 @@ def _execute_resilient(
                         raise first_exc
                 if policy.guard_nonfinite:
                     _guard_nonfinite(spec, grid, gid, report, trace)
-            except StallTimeoutError:
+            except _NON_RETRYABLE:
                 raise  # wall-clock budget spent: replaying cannot help
             except Exception as exc:
                 failures[i] = n_failures + 1

@@ -153,7 +153,7 @@ class RegionSchedule:
 
 
 def _execute_schedule(spec: StencilSpec, grid: Grid,
-                      schedule: RegionSchedule) -> np.ndarray:
+                      schedule: RegionSchedule, budget=None) -> np.ndarray:
     """Sequential schedule walk (the ``serial`` backend's engine)."""
     from repro.api.driver import drive_groups, run_actions
 
@@ -171,6 +171,7 @@ def _execute_schedule(spec: StencilSpec, grid: Grid,
     drive_groups(
         schedule,
         lambda gi, gid, ti, task: run_actions(spec, grid, task.actions),
+        budget=budget,
     )
     return grid.interior(schedule.steps)
 

@@ -73,6 +73,7 @@ def _execute_threaded(
     fault_plan: Optional[FaultPlan] = None,
     sanitize: bool = False,
     plan=None,
+    budget=None,
 ) -> np.ndarray:
     """Pooled barrier-group execution (the ``threaded`` backend's engine).
 
@@ -128,7 +129,7 @@ def _execute_threaded(
         return _run_task(spec, grid, task, gid, ti, fault_plan,
                          group_units[ti] if group_units else None)
 
-    drive_groups(schedule, run_one, num_threads=num_threads)
+    drive_groups(schedule, run_one, num_threads=num_threads, budget=budget)
     return grid.interior(schedule.steps)
 
 

@@ -40,10 +40,12 @@ class RuntimeEvent:
     beacon summary), ``retry`` (worker-reported retransmits),
     ``respawn``, ``commit``, ``failure`` (a worker gave up on an
     exchange), ``watchdog`` (liveness verdicts) — and reuses
-    ``restore`` for phase abort + checkpoint restore.
+    ``restore`` for phase abort + checkpoint restore.  The QoS
+    fallback chain (:mod:`repro.api.fallback`) adds ``fallback``: one
+    event per degradation hop.
     """
 
-    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault" | "sanitize" | "violation" | "heartbeat" | "respawn" | "commit" | "failure" | "watchdog"
+    kind: str  #: "retry" | "checkpoint" | "restore" | "degrade" | "guard" | "exchange-fault" | "sanitize" | "violation" | "heartbeat" | "respawn" | "commit" | "failure" | "watchdog" | "fallback"
     group: int
     label: str = ""
     seconds: float = 0.0

@@ -1,0 +1,98 @@
+"""Checkpoint spill-dir lifecycle when the *parent* dies mid-run.
+
+``shutdown()`` already sweeps the per-run temp dir on success and on
+coordinator abort (tests/distributed/test_elastic.py).  The remaining
+leak path is a killed parent process: the coordinator never reaches
+``shutdown()``, so the dir must be removed by an atexit hook instead —
+and that hook must be unregistered on the normal path so a long-lived
+process does not accumulate stale callbacks.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import Grid, get_stencil, make_lattice
+from repro.distributed import ElasticConfig
+from repro.distributed.elastic import _Coordinator
+
+pytestmark = pytest.mark.dist
+
+
+def _coordinator(tmp_path):
+    spec = get_stencil("heat1d")
+    lat = make_lattice(spec, (64,), 4)
+    grid = Grid(spec, (64,), seed=0)
+    return _Coordinator(
+        spec, grid, lat, 8, 2, 0, fault_plan=None,
+        config=ElasticConfig(checkpoint_dir=str(tmp_path)),
+        ghost_override=None, trace=None)
+
+
+# the child constructs a coordinator (which creates the spill dir and
+# registers the atexit hook) and exits WITHOUT calling shutdown() —
+# modelling a parent killed mid-run.  No workers are spawned: atexit
+# hooks run LIFO, so multiprocessing's own exit handler (registered at
+# import) would only reap live workers *after* our cleanup anyway.
+_CHILD = """
+import sys
+from repro import Grid, get_stencil, make_lattice
+from repro.distributed import ElasticConfig
+from repro.distributed.elastic import _Coordinator
+
+spec = get_stencil("heat1d")
+lat = make_lattice(spec, (64,), 4)
+grid = Grid(spec, (64,), seed=0)
+coord = _Coordinator(spec, grid, lat, 8, 2, 0, fault_plan=None,
+                     config=ElasticConfig(checkpoint_dir=sys.argv[1]),
+                     ghost_override=None, trace=None)
+print(coord.ckpt_dir, flush=True)
+sys.exit(0)  # no shutdown(): the atexit hook is the only sweeper
+"""
+
+
+def test_parent_exit_without_shutdown_sweeps_ckpt_dir(tmp_path):
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(tmp_path)],
+        capture_output=True, text=True, timeout=60, env=env)
+    assert proc.returncode == 0, proc.stderr
+    ckpt_dir = proc.stdout.strip()
+    assert ckpt_dir.startswith(str(tmp_path))
+    assert not os.path.exists(ckpt_dir), (
+        "killed parent leaked its checkpoint spill dir")
+
+
+def test_shutdown_unregisters_the_atexit_hook(tmp_path):
+    """The normal path must not leave a stale callback behind (it
+    would pile up one lambda per run in a long-lived process)."""
+    import atexit
+
+    coord = _coordinator(tmp_path)
+    assert os.path.isdir(coord.ckpt_dir)
+    unregistered = []
+    real = atexit.unregister
+
+    def spy(fn):
+        unregistered.append(fn)
+        real(fn)
+
+    atexit.unregister = spy
+    try:
+        coord.shutdown()
+    finally:
+        atexit.unregister = real
+    assert coord._cleanup in unregistered
+    assert not os.path.exists(coord.ckpt_dir)
+
+
+def test_cleanup_is_idempotent(tmp_path):
+    """shutdown() then a late hook firing must not raise."""
+    coord = _coordinator(tmp_path)
+    coord.shutdown()
+    coord._cleanup()  # dir already gone: ignore_errors swallows it
+    assert not os.path.exists(coord.ckpt_dir)

@@ -136,6 +136,73 @@ def test_disk_corruption_is_a_miss(tmp_path):
     c2.get(spec, sched)
     assert c2.stats.disk_hits == 0
     assert c2.stats.misses == 1
+    assert c2.stats.disk_corrupt == 1
+    # the corrupted bytes were quarantined, then the recompiled plan
+    # re-stored under the original name ...
+    assert path.with_suffix(".pkl.corrupt").exists()
+    assert c2.stats.disk_stores == 1
+    # ... so the next lookup is a healthy disk hit, not a re-corruption
+    c3 = PlanCache(disk_dir=str(tmp_path))
+    c3.get(spec, sched)
+    assert c3.stats.disk_corrupt == 0
+    assert c3.stats.disk_hits == 1
+
+
+def test_disk_truncated_pickle_is_quarantined(tmp_path):
+    """A crashed writer leaves a prefix of a valid pickle: same verdict."""
+    spec = get_stencil("heat1d")
+    sched = _sched(spec)
+    c1 = PlanCache(disk_dir=str(tmp_path))
+    c1.get(spec, sched)
+    (path,) = tmp_path.glob("plan-*.pkl")
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    c2 = PlanCache(disk_dir=str(tmp_path))
+    plan = c2.get(spec, sched)
+    assert plan is not None
+    assert c2.stats.disk_corrupt == 1
+    assert c2.stats.misses == 1
+    assert path.with_suffix(".pkl.corrupt").exists()
+    # the recompiled plan was re-stored under the original name
+    assert c2.stats.disk_stores == 1
+
+
+def test_disk_wrong_key_is_plain_miss_not_corruption(tmp_path):
+    """A healthy pickle of the wrong entry (hash collision, foreign
+    file) is a miss but NOT corruption — it is not quarantined."""
+    import pickle
+
+    spec = get_stencil("heat1d")
+    sched_a = _sched(spec, steps=4)
+    sched_b = _sched(spec, steps=8)
+    c1 = PlanCache(disk_dir=str(tmp_path))
+    c1.get(spec, sched_a)
+    plan_b = compile_plan(spec, sched_b)
+    (path,) = tmp_path.glob("plan-*.pkl")
+    with open(path, "wb") as fh:
+        pickle.dump((plan_key(spec, sched_b), plan_b), fh)
+    c2 = PlanCache(disk_dir=str(tmp_path))
+    c2.get(spec, sched_a)
+    assert c2.stats.disk_corrupt == 0
+    assert c2.stats.disk_hits == 0
+    assert c2.stats.misses == 1
+    assert path.exists()  # healthy file left alone (then overwritten)
+
+
+def test_cache_stats_dict_round_trips_disk_corrupt():
+    """cache_delta reconstructs CacheStats from as_dict keys; the new
+    counter must survive the round trip."""
+    from repro.api import cache_delta
+    from repro.engine.cache import CacheStats
+
+    before = CacheStats().as_dict()
+    after = CacheStats(disk_corrupt=2, misses=3).as_dict()
+    delta = cache_delta(before, after)
+    assert delta.disk_corrupt == 2
+    assert delta.misses == 3
+    st = CacheStats(disk_corrupt=1)
+    st.reset()
+    assert st.disk_corrupt == 0
 
 
 # -- autotune: second probe of identical params hits -----------------
