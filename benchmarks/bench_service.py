@@ -1,0 +1,103 @@
+"""Service-path overhead guard (docs/serving.md).
+
+The contract: submitting a job through the durable runtime —
+idempotency hashing, the fsync'd journal writes, the queue hop, the
+lease, the sealed result — costs under 10% over a direct
+``Session.run`` of the same workload.  The durability tax is a fixed
+number of small fsyncs per job, so the workload is sized (a compiled
+heat1d run in the tens of milliseconds) to represent a *real* request;
+an absolute floor absorbs timer and fsync jitter on fast disks.
+
+Pinned so a future hot-path addition — a journal write per step, a
+checkpoint default, an eager verify — fails loudly instead of
+silently taxing every served job.
+"""
+
+import time
+
+import pytest
+
+from repro import get_stencil
+from repro.api import RunConfig, Session
+from repro.service import JobStore, Supervisor, SupervisorConfig
+
+pytestmark = pytest.mark.service
+
+#: a representative request: heat1d, time-tiled, compiled plan
+SHAPE = (20000,)
+STEPS = 64
+B = 8
+ROUNDS = 3
+CFG = {"shape": list(SHAPE), "steps": STEPS, "scheme": "tess", "b": B,
+       "backend": "compiled", "engine": "compiled"}
+
+
+def test_submit_to_result_overhead_under_ten_percent(
+        benchmark, capsys, tmp_path):
+    spec = get_stencil("heat1d")
+    session = Session(spec)
+    direct_cfg = RunConfig.from_json(CFG)
+
+    store = JobStore(str(tmp_path / "store"))  # fsync'd: the real tax
+    sup = Supervisor(store, SupervisorConfig(workers=1))
+    sup.start()
+    # share the session (and its warmed plan cache) with the direct
+    # path — the bench isolates the *service* overhead, not a cold
+    # compile
+    sup._sessions["heat1d"] = session
+    session.run(direct_cfg)  # warm plan cache + allocator
+
+    seq = [0]
+
+    def serve_once():
+        # vary the seed so every lap is a fresh job: dedup would
+        # otherwise collapse laps 2..k onto the first result
+        seq[0] += 1
+        t0 = time.perf_counter()
+        job, _ = sup.submit("heat1d", dict(CFG, seed=seq[0]))
+        job = sup.wait(job.job_id, timeout=120)
+        assert job.state == "done"
+        interior, _ = store.load_result(job.job_id)
+        return time.perf_counter() - t0, interior
+
+    def direct_once(seed):
+        t0 = time.perf_counter()
+        result = session.run(direct_cfg.with_overrides({"seed": seed}))
+        return time.perf_counter() - t0, result.interior
+
+    def measure():
+        # interleaved min-of-k so drift hits both paths alike
+        t_direct = t_served = float("inf")
+        for _ in range(ROUNDS):
+            t, _ = direct_once(seq[0] + 1)
+            t_direct = min(t_direct, t)
+            t, _ = serve_once()
+            t_served = min(t_served, t)
+        return t_direct, t_served
+
+    try:
+        t_direct, t_served = benchmark.pedantic(
+            measure, rounds=1, iterations=1)
+
+        # the served answer is the direct answer, bit for bit
+        t, served_interior = serve_once()
+        _, direct_interior = direct_once(seq[0])
+        assert served_interior.tobytes() == direct_interior.tobytes()
+    finally:
+        sup.stop()
+        store.close()
+
+    overhead = t_served / t_direct - 1.0
+    with capsys.disabled():
+        print(f"\n[service] compiled heat1d n={SHAPE[0]} steps={STEPS} "
+              f"(min of {ROUNDS}):")
+        print(f"  direct Session.run   : {t_direct * 1e3:8.2f} ms")
+        print(f"  submit->wait->result : {t_served * 1e3:8.2f} ms "
+              f"({overhead * 1e2:+.2f}%)")
+
+    # <10% relative, with a 25 ms absolute floor: the durability tax
+    # is a fixed handful of fsyncs + one queue/worker handoff per job,
+    # not proportional work
+    assert t_served <= t_direct * 1.10 + 0.025, (
+        f"service overhead {overhead * 100:.1f}% blew the 10% budget "
+        f"({t_direct * 1e3:.2f} ms -> {t_served * 1e3:.2f} ms)")

@@ -173,6 +173,71 @@ class RunConfig:
             )
         return replace(self, **overrides)
 
+    def to_json(self) -> Dict[str, Any]:
+        """JSON-able view of the declarative knobs.
+
+        This is the serving front's job-spec format: everything a
+        remote caller can ask for survives the round trip; the live
+        in-process objects (``resilience``, ``fault_plan``, ``elastic``,
+        ``trace``, ``options`` and the QoS cancel token) do not — a
+        service attaches its own.  Of the QoS policy, the declarative
+        scalars (deadline, memory ceiling, fallback chain) are kept.
+        """
+        out: Dict[str, Any] = {
+            "shape": list(self.shape) if self.shape is not None else None,
+            "steps": int(self.steps),
+            "seed": int(self.seed),
+            "scheme": self.scheme,
+            "b": int(self.b),
+            "core_widths": (list(self.core_widths)
+                            if self.core_widths is not None else None),
+            "uncut_dims": list(self.uncut_dims),
+            "tile": list(self.tile) if self.tile is not None else None,
+            "mutations": list(self.mutations),
+            "backend": self.backend,
+            "engine": self.engine,
+            "threads": int(self.threads),
+            "sanitize": bool(self.sanitize),
+            "verify": bool(self.verify),
+            "ranks": int(self.ranks),
+            "axis": int(self.axis),
+            "ghost": int(self.ghost) if self.ghost is not None else None,
+            "check_divergence": bool(self.check_divergence),
+            "max_phase_restarts": int(self.max_phase_restarts),
+        }
+        if self.qos is not None:
+            out["qos"] = {
+                "deadline_s": self.qos.deadline_s,
+                "max_memory_bytes": self.qos.max_memory_bytes,
+                "fallback": list(self.qos.fallback),
+            }
+        else:
+            out["qos"] = None
+        return out
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunConfig":
+        """Build a config from :meth:`to_json` output (or hand-written
+        JSON); unknown keys raise like :meth:`with_overrides`."""
+        data = dict(data)
+        qos_data = data.pop("qos", None)
+        kwargs: Dict[str, Any] = {}
+        for key, value in data.items():
+            if key in ("shape", "core_widths", "tile", "uncut_dims",
+                       "mutations") and value is not None:
+                value = tuple(value)
+            kwargs[key] = value
+        cfg = cls().with_overrides(kwargs)
+        if qos_data:
+            from repro.runtime.qos import QoSPolicy
+
+            cfg = replace(cfg, qos=QoSPolicy(
+                deadline_s=qos_data.get("deadline_s"),
+                max_memory_bytes=qos_data.get("max_memory_bytes"),
+                fallback=tuple(qos_data.get("fallback", ())),
+            ))
+        return cfg
+
     def tile_params(self) -> Tuple:
         """Schedule-construction parameters, for plan-cache identity.
 

@@ -31,7 +31,14 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["RunStats", "RunResult", "cache_delta"]
+__all__ = [
+    "RunStats",
+    "RunResult",
+    "cache_delta",
+    "encode_array",
+    "decode_array",
+    "json_safe",
+]
 
 
 def cache_delta(before: Dict[str, float], after: Dict[str, float]):
@@ -40,6 +47,99 @@ def cache_delta(before: Dict[str, float], after: Dict[str, float]):
 
     return CacheStats(**{k: type(v)(after[k] - before[k])
                          for k, v in before.items()})
+
+
+# ---------------------------------------------------------------------------
+# JSON round-trip helpers (the serving front's wire format)
+# ---------------------------------------------------------------------------
+
+def json_safe(value: Any) -> Any:
+    """Recursively coerce a stats value into plain JSON types.
+
+    Numpy scalars (a ``time.perf_counter`` difference stored through a
+    numpy expression, a ``np.int64`` task count) serialize as their
+    Python equivalents; arrays become nested lists; tuples become
+    lists; dict keys become strings (JSON has no int keys).
+    """
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # last resort: a describable object (kept readable, not re-loadable)
+    return str(value)
+
+
+def encode_array(arr: np.ndarray) -> Dict[str, Any]:
+    """Lossless JSON encoding of an ndarray (dtype/shape/base64 bytes).
+
+    Bit-exact: the payload is the raw C-order buffer, so a decoded
+    array compares ``array_equal`` with the original — the property the
+    serving front's bit-identity guarantees rest on.  A SHA-256 of the
+    buffer rides along so transport-layer corruption is detectable
+    without decoding.
+    """
+    import base64
+    import hashlib
+
+    arr = np.ascontiguousarray(arr)
+    raw = arr.tobytes()
+    return {
+        "dtype": str(arr.dtype),
+        "shape": [int(n) for n in arr.shape],
+        "data": base64.b64encode(raw).decode("ascii"),
+        "sha256": hashlib.sha256(raw).hexdigest(),
+    }
+
+
+def decode_array(payload: Dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`; verifies the SHA-256 seal."""
+    import base64
+    import hashlib
+
+    raw = base64.b64decode(payload["data"])
+    digest = payload.get("sha256")
+    if digest is not None and hashlib.sha256(raw).hexdigest() != digest:
+        raise ValueError("array payload failed its SHA-256 seal")
+    arr = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return arr.reshape(tuple(int(n) for n in payload["shape"])).copy()
+
+
+def _block_to_json(block: Any) -> Optional[Dict[str, Any]]:
+    """One stats block (CommStats/ResilienceReport/CacheStats) → dict."""
+    if block is None:
+        return None
+    if hasattr(block, "as_dict"):
+        return json_safe(block.as_dict())
+    return json_safe(dict(vars(block)))
+
+
+def _block_from_json(name: str, data: Optional[Dict[str, Any]]) -> Any:
+    """Rebuild the typed counter block a ``to_json`` dict came from."""
+    if data is None:
+        return None
+    if name == "comm":
+        from repro.distributed.exec import CommStats
+
+        data = dict(data)
+        # JSON stringified the int stage keys; restore them
+        data["stage_bytes"] = {int(k): int(v) for k, v in
+                               data.get("stage_bytes", {}).items()}
+        return CommStats(**data)
+    if name == "resilience":
+        from repro.runtime.resilience import ResilienceReport
+
+        return ResilienceReport(**data)
+    if name == "cache":
+        from repro.engine.cache import CacheStats
+
+        return CacheStats(**data)
+    raise ValueError(f"unknown stats block {name!r}")
 
 
 @dataclass
@@ -137,6 +237,70 @@ class RunStats:
                 }
         return out
 
+    def to_json(self) -> Dict[str, Any]:
+        """Lossless JSON view: everything ``from_json`` needs to rebuild.
+
+        Unlike :meth:`as_dict` (a flat human-facing summary that
+        collapses events to counts), this keeps the full event stream
+        and the typed counter blocks, with every numpy scalar coerced
+        to its Python equivalent so ``json.dumps`` round-trips.
+        """
+        return {
+            "backend": self.backend,
+            "scheme": self.scheme,
+            "engine": self.engine,
+            "shape": [int(n) for n in self.shape],
+            "steps": int(self.steps),
+            "phases": {str(k): float(v) for k, v in self.phases.items()},
+            "schedule": json_safe(self.schedule),
+            "events": [
+                {"kind": e.kind, "group": int(e.group), "label": e.label,
+                 "seconds": float(e.seconds), "detail": e.detail}
+                for e in self.events
+            ],
+            "comm": _block_to_json(self.comm),
+            "resilience": _block_to_json(self.resilience),
+            "cache": _block_to_json(self.cache),
+            "plan_compiles": int(self.plan_compiles),
+            "cache_hits": int(self.cache_hits),
+            "degradations": [json_safe(dict(hop))
+                             for hop in self.degradations],
+            "verified": (None if self.verified is None
+                         else bool(self.verified)),
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict[str, Any]) -> "RunStats":
+        """Rebuild a :class:`RunStats` from :meth:`to_json` output.
+
+        The counter blocks come back as their real types (CommStats /
+        ResilienceReport / CacheStats) and events as RuntimeEvent, so a
+        deserialized stats object supports the same accessors —
+        ``describe()``, ``event_counts()``, ``resilience.describe()`` —
+        as a live one.
+        """
+        from repro.runtime.tracing import RuntimeEvent
+
+        return cls(
+            backend=data.get("backend", ""),
+            scheme=data.get("scheme", ""),
+            engine=data.get("engine", "naive"),
+            shape=tuple(int(n) for n in data.get("shape", ())),
+            steps=int(data.get("steps", 0)),
+            phases={k: float(v)
+                    for k, v in data.get("phases", {}).items()},
+            schedule=dict(data.get("schedule", {})),
+            events=[RuntimeEvent(**e) for e in data.get("events", [])],
+            comm=_block_from_json("comm", data.get("comm")),
+            resilience=_block_from_json("resilience",
+                                        data.get("resilience")),
+            cache=_block_from_json("cache", data.get("cache")),
+            plan_compiles=int(data.get("plan_compiles", 0)),
+            cache_hits=int(data.get("cache_hits", 0)),
+            degradations=[dict(h) for h in data.get("degradations", [])],
+            verified=data.get("verified"),
+        )
+
     def describe(self) -> str:
         """One-line human summary (the CLI's stats line)."""
         bits = [f"backend={self.backend}", f"scheme={self.scheme}"]
@@ -175,6 +339,25 @@ class RunResult:
     lattice: Any = None
     plan: Any = None
     sanitizer: Any = None  #: SanitizerReport when the sanitize phase ran
+
+    def to_json(self, include_interior: bool = True) -> Dict[str, Any]:
+        """JSON view of the result: stats, config knobs and the answer.
+
+        ``interior`` is base64-encoded raw bytes (see
+        :func:`encode_array`) so the round-trip is bit-exact; pass
+        ``include_interior=False`` for a status-sized payload.  The
+        config serializes through :meth:`RunConfig.to_json`, which keeps
+        the JSON-able knobs and drops live objects (trace, tokens,
+        policies beyond the QoS scalars).
+        """
+        out: Dict[str, Any] = {
+            "stats": self.stats.to_json(),
+            "config": (self.config.to_json()
+                       if self.config is not None else None),
+        }
+        if include_interior:
+            out["interior"] = encode_array(self.interior)
+        return out
 
     # convenience views onto the stats blocks -------------------------
 

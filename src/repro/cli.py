@@ -29,7 +29,15 @@ Commands
 * ``sanitize`` — structural schedule sanitizer: prove tessellation,
   ping-pong dependence legality and intra-group race freedom for a
   scheme (or the distributed plan with ``--ranks``) without executing
-  it; ``--mutate kind@group[/task]`` plants a seeded bug first.
+  it; ``--mutate kind@group[/task]`` plants a seeded bug first;
+* ``serve``  — run the durable job runtime (crash-safe journal +
+  supervisor + HTTP front, :mod:`repro.service`) over a store
+  directory;
+* ``submit`` / ``status`` / ``result`` — client side of the job
+  runtime: journal a job (``--url`` posts to a running ``serve``,
+  ``--root`` journals directly into a store; ``--wait`` drains it in
+  place), poll its state, fetch its sealed result.  See
+  ``docs/serving.md``.
 
 ``run`` and ``dist`` take ``--resilient``/``--fail-fast`` plus
 ``--inject kind@group[/task][xN]`` fault specs (see
@@ -48,7 +56,10 @@ process lost, respawn budget spent), 7 = :class:`ExchangeTimeoutError`
 (boundary band never arrived within the retry budget),
 8 = :class:`ChecksumMismatchError` (band payload kept failing its CRC),
 9 = :class:`RunDeadlineExceeded` (the ``--deadline`` budget expired
-and no fallback backend finished in time).
+and no fallback backend finished in time),
+10 = :class:`QueueSaturated` (the job queue refused a submission —
+back off and retry), 11 = :class:`JobNotFound` (``status``/``result``
+for an unknown job id).
 """
 
 from __future__ import annotations
@@ -64,6 +75,8 @@ from repro.runtime.errors import (
     EXIT_EXCHANGE_TIMEOUT,
     EXIT_EXECUTION,
     EXIT_GUARD,
+    EXIT_JOB_NOT_FOUND,
+    EXIT_QUEUE_SATURATED,
     EXIT_RANK_LOST,
     EXIT_SANITIZER,
     EXIT_USAGE,
@@ -71,6 +84,8 @@ from repro.runtime.errors import (
     ExchangeTimeoutError,
     ExecutionError,
     GuardViolation,
+    JobNotFound,
+    QueueSaturated,
     RankLostError,
     RunDeadlineExceeded,
     SanitizerViolation,
@@ -211,7 +226,84 @@ def _build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("bench", help="regenerate paper experiments")
     bench.add_argument("names", nargs="*", help="experiment ids (default all)")
+
+    serve = sub.add_parser(
+        "serve", help="durable job runtime: journal + supervisor + HTTP")
+    serve.add_argument("--root", required=True,
+                       help="store directory (journal, results, "
+                       "checkpoints, leases); reopening it recovers")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="HTTP port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="bound on waiting jobs; a full queue "
+                       "refuses with exit 10 / HTTP 429")
+    serve.add_argument("--max-pending-mb", type=float, default=None,
+                       help="bound on the queued jobs' summed admission "
+                       "estimates")
+    serve.add_argument("--checkpoint-every", type=int, default=0,
+                       metavar="STEPS",
+                       help="seal a resume checkpoint every N time "
+                       "steps (0 = only journal-level restart)")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="default per-job retry budget for "
+                       "transient failures")
+    serve.add_argument("--no-fsync", action="store_true",
+                       help="skip fsync on journal appends (tests "
+                       "only; forfeits the power-loss guarantee)")
+
+    submit = sub.add_parser(
+        "submit", help="journal a job (to a server or a store dir)")
+    submit.add_argument("kernel",
+                        help="heat1d|1d5p|heat2d|2d9p|life|heat3d|3d27p")
+    _add_client_args(submit)
+    submit.add_argument("--shape", type=int, nargs="+", default=None)
+    submit.add_argument("--steps", type=int, default=32)
+    submit.add_argument("--scheme", default="tess", choices=SCHEMES)
+    submit.add_argument("-b", "--depth", type=int, default=8)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument("--backend", default="serial", metavar="NAME")
+    submit.add_argument("--engine", default="auto",
+                        choices=["auto", "naive", "compiled"])
+    submit.add_argument("--threads", type=int, default=1)
+    submit.add_argument("--verify", action="store_true",
+                        help="verify against the naive sweep server-side")
+    _add_qos_args(submit)
+    submit.add_argument("--priority", type=int, default=0,
+                        help="higher runs first")
+    submit.add_argument("--max-retries", type=int, default=None,
+                        help="override the server's retry budget")
+    submit.add_argument("--max-queued", type=int, default=None,
+                        help="(--root mode) refuse with exit 10 if this "
+                        "many jobs are already queued")
+    submit.add_argument("--wait", action="store_true",
+                        help="block until the job is terminal; with "
+                        "--root, drain the store in-process")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="--wait budget in seconds")
+
+    status = sub.add_parser("status", help="job state (or store summary)")
+    status.add_argument("job_id", nargs="?", default=None,
+                        help="job id (omit to list all jobs)")
+    _add_client_args(status)
+
+    result = sub.add_parser("result", help="fetch a sealed job result")
+    result.add_argument("job_id")
+    _add_client_args(result)
+    result.add_argument("--out", default=None, metavar="FILE.npy",
+                        help="save the interior array")
+    result.add_argument("--no-stats", action="store_true",
+                        help="skip the run-stats summary")
     return p
+
+
+def _add_client_args(sub: argparse.ArgumentParser) -> None:
+    where = sub.add_mutually_exclusive_group(required=True)
+    where.add_argument("--url", default=None,
+                       help="base URL of a running 'repro serve'")
+    where.add_argument("--root", default=None,
+                       help="operate on a store directory directly")
 
 
 def _add_resilience_args(sub: argparse.ArgumentParser) -> None:
@@ -566,6 +658,180 @@ def cmd_bench(args) -> int:
     return bench_main(args.names)
 
 
+# -- the durable job runtime (repro.service) --------------------------
+
+def _supervisor_config(args):
+    from repro.service import SupervisorConfig
+
+    return SupervisorConfig(
+        workers=args.workers,
+        queue_depth=args.queue_depth,
+        max_pending_bytes=(int(args.max_pending_mb * 1e6)
+                           if args.max_pending_mb is not None else None),
+        checkpoint_steps=args.checkpoint_every,
+        default_max_retries=args.retries,
+    )
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+
+    from repro.service import JobStore, ServiceFront, Supervisor
+
+    store = JobStore(args.root, fsync=not args.no_fsync)
+    sup = Supervisor(store, _supervisor_config(args))
+    recovery = sup.start()
+    print(f"recovered store {store.root}: {recovery.describe()}")
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda *_: stop.set())
+    with ServiceFront(sup, host=args.host, port=args.port) as front:
+        print(f"serving on {front.url} "
+              f"(workers={args.workers} queue={args.queue_depth} "
+              f"checkpoint_every={args.checkpoint_every})")
+        sys.stdout.flush()
+        try:
+            while not stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            pass
+    print("draining workers...")
+    sup.stop()
+    store.close()
+    return 0
+
+
+def _submit_config(args) -> dict:
+    from repro.api import RunConfig
+
+    return RunConfig(
+        shape=tuple(args.shape) if args.shape else None,
+        steps=args.steps, seed=args.seed,
+        scheme=args.scheme, b=args.depth,
+        backend=args.backend, engine=args.engine,
+        threads=args.threads, verify=args.verify,
+        qos=_qos_policy(args),
+    ).normalized().to_json()
+
+
+def cmd_submit(args) -> int:
+    config = _submit_config(args)
+    if args.url is not None:
+        from repro.service import job_status, submit_job
+
+        out = submit_job(args.url, args.kernel, config,
+                         priority=args.priority,
+                         max_retries=args.max_retries)
+        print(f"job {out['job_id']} {out['state']} "
+              f"({'new' if out['created'] else 'deduplicated'})")
+        if args.wait:
+            import time as _time
+
+            deadline = _time.monotonic() + args.timeout
+            while _time.monotonic() < deadline:
+                st = job_status(args.url, out["job_id"])
+                if st["state"] in ("done", "failed", "cancelled"):
+                    print(f"job {out['job_id']} {st['state']}"
+                          + (f": {st['error']}" if st.get("error") else ""))
+                    return 0 if st["state"] == "done" else EXIT_EXECUTION
+                _time.sleep(0.2)
+            print(f"job {out['job_id']} still "
+                  f"{st['state']} after {args.timeout:.0f}s",
+                  file=sys.stderr)
+            return EXIT_EXECUTION
+        return 0
+
+    from repro.service import JobStore, QUEUED, Supervisor, SupervisorConfig
+
+    with JobStore(args.root) as store:
+        if args.max_queued is not None:
+            queued = len(store.jobs(state=QUEUED))
+            if queued >= args.max_queued:
+                raise QueueSaturated(queued, args.max_queued)
+        job, created = store.submit(
+            args.kernel, config, priority=args.priority,
+            max_retries=(args.max_retries if args.max_retries is not None
+                         else 2))
+        print(f"job {job.job_id} {job.state} "
+              f"({'new' if created else 'deduplicated'})")
+        if not args.wait:
+            return 0
+        # drain in place: a short-lived supervisor owns the store
+        sup = Supervisor(store, SupervisorConfig(workers=1))
+        sup.start()
+        try:
+            job = sup.wait(job.job_id, timeout=args.timeout)
+        finally:
+            sup.stop()
+        print(f"job {job.job_id} {job.state}"
+              + (f": {job.error}" if job.error else ""))
+        return 0 if job.state == "done" else EXIT_EXECUTION
+
+
+def cmd_status(args) -> int:
+    import json as _json
+
+    if args.url is not None:
+        from repro.service import job_status, server_metrics
+
+        if args.job_id is None:
+            print(_json.dumps(server_metrics(args.url), indent=2,
+                              default=str))
+            return 0
+        print(_json.dumps(job_status(args.url, args.job_id), indent=2))
+        return 0
+    from repro.service import JobStore
+
+    with JobStore(args.root) as store:
+        if args.job_id is None:
+            for job in store.jobs():
+                print(f"{job.job_id}  {job.state:<9} "
+                      f"attempts={job.attempts} kernel={job.kernel}")
+            return 0
+        print(_json.dumps(store.get(args.job_id).to_json(), indent=2))
+        return 0
+
+
+def cmd_result(args) -> int:
+    import numpy as np
+
+    if args.url is not None:
+        from repro.service import job_result
+
+        out = job_result(args.url, args.job_id)
+        if out.get("state") != "done":
+            print(f"job {args.job_id} is {out.get('state')}, not done"
+                  + (f" ({out.get('error_detail')})"
+                     if out.get("error_detail") else ""),
+                  file=sys.stderr)
+            return EXIT_EXECUTION
+        interior, stats = out["interior"], out["stats"]
+    else:
+        from repro.service import JobStore
+
+        with JobStore(args.root) as store:
+            job = store.get(args.job_id)
+            if job.state != "done":
+                print(f"job {args.job_id} is {job.state}, not done"
+                      + (f" ({job.error})" if job.error else ""),
+                      file=sys.stderr)
+                return EXIT_EXECUTION
+            interior, stats = store.load_result(args.job_id)
+    print(f"job {args.job_id}: interior {interior.shape} "
+          f"{interior.dtype}, checksum {float(np.sum(interior)):.6g}")
+    if not args.no_stats:
+        secs = stats.get("phases", {}).get("execute", 0.0)
+        print(f"backend={stats.get('backend')} "
+              f"steps={stats.get('steps')} "
+              f"execute={secs * 1e3:.1f} ms "
+              f"resumed={'yes' if any(e.get('kind') == 'resume' for e in stats.get('events', [])) else 'no'}")
+    if args.out:
+        with open(args.out, "wb") as fh:
+            np.save(fh, interior, allow_pickle=False)
+        print(f"saved {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     cmd = {
@@ -576,6 +842,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sanitize": cmd_sanitize,
         "table": cmd_table,
         "bench": cmd_bench,
+        "serve": cmd_serve,
+        "submit": cmd_submit,
+        "status": cmd_status,
+        "result": cmd_result,
     }[args.command]
     try:
         return cmd(args)
@@ -602,6 +872,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ExecutionError as e:
         print(f"execution failed: {e}", file=sys.stderr)
         return EXIT_EXECUTION
+    except QueueSaturated as e:
+        print(f"queue saturated: {e}", file=sys.stderr)
+        return EXIT_QUEUE_SATURATED
+    except JobNotFound as e:
+        print(f"job not found: {e}", file=sys.stderr)
+        return EXIT_JOB_NOT_FOUND
     except (ValueError, KeyError) as e:
         msg = e.args[0] if e.args else e
         print(f"error: {msg}", file=sys.stderr)

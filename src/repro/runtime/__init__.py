@@ -50,6 +50,8 @@ from repro.runtime.errors import (
     GhostDivergenceError,
     GuardViolation,
     InjectedFault,
+    JobNotFound,
+    QueueSaturated,
     RankLostError,
     SanitizerViolation,
     StallTimeoutError,
@@ -94,6 +96,8 @@ __all__ = [
     "GhostDivergenceError",
     "GuardViolation",
     "InjectedFault",
+    "JobNotFound",
+    "QueueSaturated",
     "RankLostError",
     "StallTimeoutError",
     "FaultPlan",

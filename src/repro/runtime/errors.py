@@ -37,14 +37,20 @@ tracebacks:
   cooperative check point, or its cancel token was tripped.  Distinct
   from the per-task :class:`DeadlineExceeded` soft deadline and the
   resilient executor's :class:`StallTimeoutError` wall clock, both of
-  which are internal to one executor's recovery policy.
+  which are internal to one executor's recovery policy;
+* :class:`QueueSaturated` / :class:`JobNotFound` — the durable job
+  runtime's verdicts (:mod:`repro.service`): the bounded submission
+  queue refused a job instead of buffering unboundedly (backpressure,
+  never silent queueing), or a job id was addressed that the job
+  store's journal has never seen.
 
 Exit-code mapping used by ``python -m repro`` (see
 :func:`repro.cli.main`): usage/:class:`ValueError` → 2,
 :class:`ExecutionError` → 3, :class:`GuardViolation` → 4,
 :class:`SanitizerViolation` → 5, :class:`RankLostError` → 6,
 :class:`ExchangeTimeoutError` → 7, :class:`ChecksumMismatchError` → 8,
-:class:`RunDeadlineExceeded` → 9.
+:class:`RunDeadlineExceeded` → 9, :class:`QueueSaturated` → 10,
+:class:`JobNotFound` → 11.
 """
 
 from __future__ import annotations
@@ -62,6 +68,53 @@ EXIT_RANK_LOST = 6
 EXIT_EXCHANGE_TIMEOUT = 7
 EXIT_CHECKSUM = 8
 EXIT_DEADLINE = 9
+EXIT_QUEUE_SATURATED = 10
+EXIT_JOB_NOT_FOUND = 11
+
+
+class QueueSaturated(RuntimeError):
+    """The durable job runtime's bounded queue refused a submission.
+
+    Raised by :class:`repro.service.queue.JobQueue` (and the CLI's
+    local-mode ``submit``) when accepting one more job would exceed the
+    queue's depth bound or its admitted-footprint ceiling (the sum of
+    per-job :func:`~repro.runtime.qos.estimate_peak_bytes` estimates).
+    Backpressure by refusal, never by unbounded buffering: the caller
+    sees exit code 10 (HTTP 429) immediately and can retry later or
+    shrink the request.  Nothing was journaled — a refused submission
+    leaves no trace in the job store.
+    """
+
+    def __init__(self, depth: int, capacity: int, *,
+                 pending_bytes: int = 0,
+                 limit_bytes: Optional[int] = None,
+                 detail: str = ""):
+        self.depth = depth
+        self.capacity = capacity
+        self.pending_bytes = pending_bytes
+        self.limit_bytes = limit_bytes
+        why = detail or (
+            f"{depth}/{capacity} jobs queued" if limit_bytes is None else
+            f"{depth}/{capacity} jobs queued, {pending_bytes} B of "
+            f"{limit_bytes} B admitted footprint"
+        )
+        super().__init__(f"job queue saturated: {why}")
+
+
+class JobNotFound(KeyError):
+    """A job id was addressed that the job store has never seen.
+
+    A :class:`KeyError` subclass, but mapped to its own exit code 11
+    (HTTP 404) so callers can tell a missing *job* apart from a plain
+    usage error.  Carries the offending id.
+    """
+
+    def __init__(self, job_id: str):
+        self.job_id = job_id
+        super().__init__(f"unknown job {job_id!r}")
+
+    def __str__(self) -> str:  # KeyError quotes its args; keep prose
+        return self.args[0]
 
 
 class InjectedFault(RuntimeError):

@@ -1,0 +1,288 @@
+"""Minimal serving front: stdlib HTTP over the durable job runtime.
+
+One :class:`ServiceFront` binds a :class:`~repro.service.supervisor.
+Supervisor` to a ``ThreadingHTTPServer``.  The API is deliberately
+small — submit, poll, fetch, cancel, observe — and speaks only JSON
+(arrays travel as the base64 + SHA-256 codec of
+:func:`repro.api.stats.encode_array`):
+
+====== ========================== =====================================
+verb   path                       meaning
+====== ========================== =====================================
+POST   ``/jobs``                  submit ``{"kernel", "config", ...}``;
+                                  202 with the job id (idempotent —
+                                  resubmitting returns the same id)
+GET    ``/jobs``                  list job summaries
+GET    ``/jobs/<id>``             full job status (journaled view)
+GET    ``/jobs/<id>/result``      sealed result: stats + interior
+                                  array; 409 until the job is ``done``
+POST   ``/jobs/<id>/cancel``      cancel (idempotent)
+GET    ``/metrics``               supervisor + queue + store counters
+GET    ``/healthz``               liveness probe
+====== ========================== =====================================
+
+Failure taxonomy on the wire mirrors the CLI exit codes:
+:class:`~repro.runtime.errors.QueueSaturated` → **429** (exit 10),
+:class:`~repro.runtime.errors.JobNotFound` → **404** (exit 11), usage
+errors → 400.  Every error body is ``{"error", "kind"}`` so clients
+re-raise the typed exception — the module's client helpers
+(:func:`submit_job` & co.) do exactly that, which is how the CLI's
+``repro submit/status/result`` map server-side saturation onto the
+same exit code a local refusal produces.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.request import Request, urlopen
+
+from repro.runtime.errors import JobNotFound, QueueSaturated
+
+__all__ = [
+    "ServiceFront",
+    "submit_job",
+    "job_status",
+    "job_result",
+    "cancel_job",
+    "server_metrics",
+]
+
+_MAX_BODY = 8 << 20  # request bodies are job specs, not bulk data
+
+
+def _error_payload(exc: Exception) -> Tuple[int, Dict[str, Any]]:
+    """Map an exception to ``(http_status, body)`` — the wire-side
+    mirror of the CLI's exit-code taxonomy."""
+    if isinstance(exc, QueueSaturated):
+        return 429, {"error": str(exc), "kind": "QueueSaturated"}
+    if isinstance(exc, JobNotFound):
+        return 404, {"error": str(exc), "kind": "JobNotFound"}
+    if isinstance(exc, (ValueError, KeyError, TypeError)):
+        return 400, {"error": str(exc), "kind": type(exc).__name__}
+    return 500, {"error": str(exc), "kind": type(exc).__name__}
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one request; the supervisor hangs off the server."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -----------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet by default
+        if getattr(self.server, "verbose", False):  # pragma: no cover
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_body(self) -> Dict[str, Any]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY:
+            raise ValueError(f"request body of {length} bytes exceeds "
+                             f"the {_MAX_BODY} byte bound")
+        raw = self.rfile.read(length) if length else b"{}"
+        data = json.loads(raw or b"{}")
+        if not isinstance(data, dict):
+            raise ValueError("request body must be a JSON object")
+        return data
+
+    def _route(self) -> Tuple[int, Dict[str, Any]]:
+        sup = self.server.supervisor
+        parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
+        if self.command == "GET":
+            if parts == ["healthz"]:
+                return 200, {"ok": True}
+            if parts == ["metrics"]:
+                return 200, sup.snapshot_metrics()
+            if parts == ["jobs"]:
+                return 200, {"jobs": [
+                    {"job_id": j.job_id, "kernel": j.kernel,
+                     "state": j.state, "attempts": j.attempts,
+                     "priority": j.priority}
+                    for j in sup.store.jobs()]}
+            if len(parts) == 2 and parts[0] == "jobs":
+                return 200, sup.store.get(parts[1]).to_json()
+            if len(parts) == 3 and parts[:1] == ["jobs"] \
+                    and parts[2] == "result":
+                return self._result(sup, parts[1])
+        elif self.command == "POST":
+            if parts == ["jobs"]:
+                return self._submit(sup)
+            if len(parts) == 3 and parts[0] == "jobs" \
+                    and parts[2] == "cancel":
+                job = sup.cancel(parts[1])
+                return 200, {"job_id": job.job_id, "state": job.state}
+        raise JobNotFound(self.path)
+
+    # -- handlers -----------------------------------------------------
+
+    def _submit(self, sup) -> Tuple[int, Dict[str, Any]]:
+        body = self._read_body()
+        kernel = body.get("kernel")
+        config = body.get("config") or {}
+        if not kernel:
+            raise ValueError("submission needs a 'kernel' name")
+        job, created = sup.submit(
+            str(kernel), dict(config),
+            priority=int(body.get("priority", 0)),
+            max_retries=body.get("max_retries"))
+        return (202 if created else 200), {
+            "job_id": job.job_id,
+            "state": job.state,
+            "created": created,
+            "idempotency_key": job.idempotency_key,
+        }
+
+    def _result(self, sup, job_id: str) -> Tuple[int, Dict[str, Any]]:
+        from repro.api.stats import encode_array
+        from repro.service.jobstore import DONE
+
+        job = sup.store.get(job_id)
+        if job.state != DONE:
+            return 409, {"job_id": job_id, "state": job.state,
+                         "error": f"job is {job.state}, not done",
+                         "kind": "NotReady",
+                         "error_detail": job.error,
+                         "error_kind": job.error_kind}
+        interior, stats = sup.store.load_result(job_id)
+        return 200, {"job_id": job_id, "state": job.state,
+                     "stats": stats, "interior": encode_array(interior)}
+
+    def _dispatch(self) -> None:
+        try:
+            status, payload = self._route()
+        except Exception as exc:  # typed taxonomy, not a stack trace
+            status, payload = _error_payload(exc)
+        self._send_json(status, payload)
+
+    do_GET = _dispatch
+    do_POST = _dispatch
+
+
+class ServiceFront:
+    """Own the HTTP server thread over a started supervisor."""
+
+    def __init__(self, supervisor, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.supervisor = supervisor
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.supervisor = supervisor
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ServiceFront":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-serve", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ServiceFront":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# -- client helpers ---------------------------------------------------
+
+def _request(base: str, path: str, *, method: str = "GET",
+             body: Optional[Dict[str, Any]] = None,
+             timeout: float = 30.0) -> Dict[str, Any]:
+    """One JSON round trip; server error bodies re-raise typed."""
+    from urllib.error import HTTPError
+
+    data = None if body is None else json.dumps(body).encode()
+    req = Request(f"{base.rstrip('/')}{path}", data=data, method=method,
+                  headers={"Content-Type": "application/json"})
+    try:
+        with urlopen(req, timeout=timeout) as resp:
+            return json.loads(resp.read() or b"{}")
+    except HTTPError as exc:
+        try:
+            payload = json.loads(exc.read() or b"{}")
+        except ValueError:
+            payload = {"error": str(exc), "kind": "HTTPError"}
+        raise _typed(payload, exc.code) from None
+
+
+def _typed(payload: Dict[str, Any], status: int) -> Exception:
+    kind = payload.get("kind", "")
+    message = payload.get("error", f"HTTP {status}")
+    if kind == "QueueSaturated" or status == 429:
+        return QueueSaturated(0, 0, detail=message)
+    if kind == "JobNotFound" or status == 404:
+        exc = JobNotFound(message)
+        exc.args = (message,)  # the server already phrased it
+        return exc
+    if status == 400:
+        return ValueError(message)
+    return RuntimeError(message)
+
+
+def submit_job(base: str, kernel: str, config: Dict[str, Any], *,
+               priority: int = 0, max_retries: Optional[int] = None,
+               timeout: float = 30.0) -> Dict[str, Any]:
+    body: Dict[str, Any] = {"kernel": kernel, "config": config,
+                            "priority": priority}
+    if max_retries is not None:
+        body["max_retries"] = max_retries
+    return _request(base, "/jobs", method="POST", body=body,
+                    timeout=timeout)
+
+
+def job_status(base: str, job_id: str, *,
+               timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base, f"/jobs/{job_id}", timeout=timeout)
+
+
+def job_result(base: str, job_id: str, *, timeout: float = 30.0,
+               decode: bool = True) -> Dict[str, Any]:
+    """Fetch a sealed result; with ``decode`` the interior comes back
+    as an ndarray (hash-verified)."""
+    from urllib.error import HTTPError  # noqa: F401  (re-raise path)
+
+    out = _request(base, f"/jobs/{job_id}/result", timeout=timeout)
+    if decode and isinstance(out.get("interior"), dict):
+        from repro.api.stats import decode_array
+
+        out["interior"] = decode_array(out["interior"])
+    return out
+
+
+def cancel_job(base: str, job_id: str, *,
+               timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base, f"/jobs/{job_id}/cancel", method="POST",
+                    timeout=timeout)
+
+
+def server_metrics(base: str, *,
+                   timeout: float = 30.0) -> Dict[str, Any]:
+    return _request(base, "/metrics", timeout=timeout)

@@ -1,0 +1,132 @@
+"""Bounded priority queue with backpressure for the job runtime.
+
+The serving story's first overload defence: a queue that refuses
+instead of buffering unboundedly.  Two independent bounds, both
+checked at ``put`` time:
+
+* **depth** — at most ``maxsize`` jobs waiting;
+* **footprint** — the sum of the queued jobs' admission estimates
+  (:func:`repro.runtime.qos.estimate_peak_bytes`, computed once at
+  submission and carried on the job) must stay under
+  ``max_pending_bytes``.  This reuses the PR-6 admission model: the
+  queue refuses work the workers could not admit anyway, before it
+  costs a journal write.
+
+Exceeding either bound raises the typed
+:class:`~repro.runtime.errors.QueueSaturated` (CLI exit code 10,
+HTTP 429).  Ordering is priority-first (higher value first), FIFO
+within a priority level.  ``put(..., force=True)`` bypasses the bounds
+— it exists for the supervisor's *internal* re-queues (retry, crash
+recovery), which must never drop a job that is already journaled.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import List, Optional, Tuple
+
+from repro.runtime.errors import QueueSaturated
+from repro.service.jobstore import Job
+
+__all__ = ["JobQueue"]
+
+
+class JobQueue:
+    """Thread-safe bounded priority queue of :class:`Job` entries."""
+
+    def __init__(self, maxsize: int = 64,
+                 max_pending_bytes: Optional[int] = None):
+        if maxsize < 1:
+            raise ValueError(f"queue maxsize must be >= 1, got {maxsize}")
+        self.maxsize = int(maxsize)
+        self.max_pending_bytes = max_pending_bytes
+        self._heap: List[Tuple[int, int, Job]] = []
+        self._ids = set()
+        self._pending_bytes = 0
+        self._seq = 0
+        self._closed = False
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    @property
+    def pending_bytes(self) -> int:
+        with self._cond:
+            return self._pending_bytes
+
+    def check_admit(self, estimated_bytes: int) -> None:
+        """Raise :class:`QueueSaturated` if one more job would not fit.
+
+        Callers that journal on submit use this *before* writing the
+        record, so a refused submission leaves no trace.
+        """
+        with self._cond:
+            self._check(int(estimated_bytes))
+
+    def _check(self, estimated_bytes: int) -> None:
+        if len(self._heap) >= self.maxsize:
+            raise QueueSaturated(len(self._heap), self.maxsize)
+        limit = self.max_pending_bytes
+        if (limit is not None
+                and self._pending_bytes + estimated_bytes > limit):
+            raise QueueSaturated(
+                len(self._heap), self.maxsize,
+                pending_bytes=self._pending_bytes + estimated_bytes,
+                limit_bytes=limit)
+
+    def put(self, job: Job, *, force: bool = False) -> None:
+        """Enqueue; raises :class:`QueueSaturated` unless ``force``."""
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("queue is closed")
+            if job.job_id in self._ids:
+                return  # already waiting; idempotent
+            if not force:
+                self._check(job.estimated_bytes)
+            # negated priority: heapq is a min-heap, highest wins
+            self._seq += 1
+            heapq.heappush(self._heap, (-int(job.priority), self._seq, job))
+            self._ids.add(job.job_id)
+            self._pending_bytes += int(job.estimated_bytes)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Job]:
+        """Highest-priority job, blocking up to ``timeout``; None on
+        timeout or when the queue is closed and drained."""
+        with self._cond:
+            while not self._heap:
+                if self._closed:
+                    return None
+                if not self._cond.wait(timeout=timeout):
+                    return None
+            _, _, job = heapq.heappop(self._heap)
+            self._ids.discard(job.job_id)
+            self._pending_bytes -= int(job.estimated_bytes)
+            return job
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a waiting job (cancellation); False if not queued."""
+        with self._cond:
+            if job_id not in self._ids:
+                return False
+            kept = [(p, s, j) for (p, s, j) in self._heap
+                    if j.job_id != job_id]
+            removed = len(self._heap) - len(kept)
+            if removed:
+                heapq.heapify(kept)
+                self._heap = kept
+                self._ids.discard(job_id)
+                # recompute the footprint from what is left: simpler
+                # and immune to drift than tracking per-job estimates
+                self._pending_bytes = sum(int(j.estimated_bytes)
+                                          for _, _, j in self._heap)
+            return bool(removed)
+
+    def close(self) -> None:
+        """Wake every blocked ``get`` with None; puts start failing."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()

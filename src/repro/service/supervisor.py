@@ -1,0 +1,556 @@
+"""The supervisor: leased workers driving jobs through the pipeline.
+
+One :class:`Supervisor` owns a :class:`~repro.service.jobstore.JobStore`
+and a :class:`~repro.service.queue.JobQueue` and runs a small pool of
+worker threads.  Each worker:
+
+1. leases a queued job (``leases/<id>.lease``, heartbeat-renewed by a
+   keeper thread so a live run is visibly claimed and a dead one is
+   visibly stale);
+2. drives it ``queued → admitted → running`` and executes through
+   :meth:`repro.api.Session.run` — the same pipeline, QoS machinery
+   and backends as a direct caller, with a per-job
+   :class:`~repro.runtime.qos.CancelToken` grafted onto the job's QoS
+   policy so ``cancel()`` stops it at the next cooperative boundary;
+3. for checkpointable (local) backends, runs the job in *segments* of
+   ``checkpoint_steps`` steps, sealing the padded ping-pong buffer
+   into the store after each segment.  Schedules are deterministic
+   replay, and every scheme is bit-identical to the naive sweep, so a
+   run resumed from the buffer at step *k* finishes bit-identical to
+   an uninterrupted run — the property the SIGKILL recovery test pins;
+4. retries **transient** failures (executor deaths, injected faults)
+   with exponential backoff plus deterministic jitter under a per-job
+   retry budget; **permanent** verdicts (unsupported backend, usage
+   errors, blown QoS deadlines, cancellation) fail or cancel
+   immediately;
+5. on startup, recovers: the store's journal scan re-queues jobs a
+   dead supervisor left ``admitted``/``running``, and the worker that
+   picks one up resumes from its newest restorable checkpoint — the
+   resumption is journaled (``resumed_from_step``) and recorded as a
+   ``resume`` event in the result's RunStats.
+
+Cleanup discipline: the supervisor registers an ``atexit`` hook (the
+elastic coordinator's pattern) so even an un-stopped supervisor sweeps
+its lease files and half-written temp files; a SIGKILL cannot run it,
+which is exactly what the startup recovery scan is for.
+"""
+
+from __future__ import annotations
+
+import atexit
+import random
+import threading
+import time
+from dataclasses import dataclass, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.runtime.errors import JobNotFound
+from repro.service.jobstore import (
+    ADMITTED,
+    CANCELLED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobStore,
+)
+from repro.service.queue import JobQueue
+
+__all__ = ["Supervisor", "SupervisorConfig"]
+
+#: backends whose execution mutates the caller's Grid in place, so the
+#: padded ping-pong buffer after a segment is the authoritative state
+#: a later segment (or a recovered supervisor) can resume from.  The
+#: distributed families scatter/gather rank-local slabs instead; jobs
+#: on those backends run as one segment and restart from the journal.
+_CHECKPOINTABLE = frozenset(
+    ("serial", "compiled", "threaded", "resilient"))
+
+
+@dataclass
+class SupervisorConfig:
+    """Tunable knobs of the durable job runtime."""
+
+    #: worker threads leasing jobs concurrently
+    workers: int = 2
+    #: queue depth bound (refusals raise QueueSaturated, exit 10)
+    queue_depth: int = 64
+    #: ceiling on the queued jobs' summed admission estimates
+    max_pending_bytes: Optional[int] = None
+    #: lease lifetime; a lease not renewed for this long is stale
+    lease_ttl_s: float = 30.0
+    #: keeper-thread heartbeat period (lease renewal cadence)
+    lease_renew_s: float = 2.0
+    #: checkpoint every N steps on checkpointable backends (0 = only
+    #: run whole; recovery then restarts from the journal)
+    checkpoint_steps: int = 0
+    #: default per-job retry budget for transient failures
+    default_max_retries: int = 2
+    #: base backoff before a retry; attempt ``k`` waits ``base * 2**k``
+    retry_backoff_s: float = 0.05
+    #: backoff ceiling
+    retry_backoff_cap_s: float = 2.0
+    #: multiplicative jitter span (0.25 = up to +25%), seeded per
+    #: (job, attempt) so tests replay deterministically
+    retry_jitter: float = 0.25
+    #: worker poll period while the queue is idle
+    poll_s: float = 0.05
+
+
+@dataclass
+class _Metrics:
+    submitted: int = 0
+    deduplicated: int = 0
+    completed: int = 0
+    failed: int = 0
+    cancelled: int = 0
+    retries: int = 0
+    resumes: int = 0
+    refused: int = 0
+    segments_run: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(vars(self))
+
+
+def _grid_from_buffer(spec, shape: Tuple[int, ...], padded: np.ndarray):
+    """Rebuild a Grid whose local time 0 holds the padded buffer.
+
+    ``Grid.at(t)`` indexes ``buffers[t % 2]``; seeding both buffers
+    with the checkpointed state makes local time 0 of the resumed
+    segment equal global time *k* of the original run.
+    """
+    from repro.stencils.grid import Grid
+
+    expected = tuple(spec.padded_shape(shape))
+    if tuple(padded.shape) != expected:
+        raise ValueError(
+            f"checkpoint buffer shape {tuple(padded.shape)} does not "
+            f"match padded grid shape {expected}")
+    grid = Grid.__new__(Grid)
+    grid.spec = spec
+    grid.shape = tuple(shape)
+    arr = np.array(padded, dtype=spec.dtype, copy=True)
+    grid.buffers = [arr, arr.copy()]
+    return grid
+
+
+def _merge_block(blocks: List[Any]):
+    """Field-wise sum of per-segment counter blocks (same type)."""
+    blocks = [b for b in blocks if b is not None]
+    if not blocks:
+        return None
+    if len(blocks) == 1:
+        return blocks[0]
+    merged = type(blocks[0])()
+    for name, value in vars(merged).items():
+        if isinstance(value, str):
+            setattr(merged, name, getattr(blocks[-1], name, value))
+        elif isinstance(value, dict):
+            acc: Dict[Any, Any] = {}
+            for b in blocks:
+                for k, v in getattr(b, name, {}).items():
+                    acc[k] = acc.get(k, 0) + v
+            setattr(merged, name, acc)
+        elif isinstance(value, (int, float)):
+            setattr(merged, name,
+                    type(value)(sum(getattr(b, name, 0) for b in blocks)))
+    return merged
+
+
+def _merge_stats(segments: List[Any], *, total_steps: int,
+                 resume_step: int, job_id: str):
+    """Fold per-segment RunStats into one job-level RunStats.
+
+    Phase seconds, compile/hit counters and counter blocks sum across
+    segments; the event streams concatenate (prefixed with a ``resume``
+    event when the job restarted from a checkpoint); ``steps`` reports
+    the job's total, not the last segment's.
+    """
+    from repro.runtime.tracing import RuntimeEvent
+
+    last = segments[-1]
+    if len(segments) == 1 and resume_step < 0:
+        return last
+    phases: Dict[str, float] = {}
+    events: List[Any] = []
+    if resume_step >= 0:
+        events.append(RuntimeEvent(
+            kind="resume", group=0, label=job_id,
+            detail=f"resumed from checkpoint at step {resume_step}"))
+    for seg in segments:
+        for k, v in seg.phases.items():
+            phases[k] = phases.get(k, 0.0) + float(v)
+        events.extend(seg.events)
+    merged = replace(
+        last,
+        steps=int(total_steps),
+        phases=phases,
+        events=events,
+        comm=_merge_block([s.comm for s in segments]),
+        resilience=_merge_block([s.resilience for s in segments]),
+        cache=_merge_block([s.cache for s in segments]),
+        plan_compiles=sum(int(s.plan_compiles) for s in segments),
+        cache_hits=sum(int(s.cache_hits) for s in segments),
+        degradations=[hop for s in segments for hop in s.degradations],
+    )
+    return merged
+
+
+class Supervisor:
+    """Worker pool that makes journaled jobs finish, whatever happens."""
+
+    def __init__(self, store: JobStore,
+                 config: Optional[SupervisorConfig] = None):
+        self.store = store
+        self.config = config or SupervisorConfig()
+        self.queue = JobQueue(
+            maxsize=self.config.queue_depth,
+            max_pending_bytes=self.config.max_pending_bytes)
+        self.metrics = _Metrics()
+        self._owner = f"supervisor-{id(self):x}"
+        self._threads: List[threading.Thread] = []
+        self._keeper: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._started = False
+        self._tokens: Dict[str, Any] = {}
+        self._tokens_lock = threading.Lock()
+        self._sessions: Dict[str, Any] = {}
+        self._done_cond = threading.Condition()
+        self.recovery = None  #: RecoveryReport of the last start()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self):
+        """Recover the store, re-queue pending work, spawn workers."""
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        self._started = True
+        self._stop.clear()
+        self.recovery = self.store.recover()
+        for job in self.store.jobs(state=QUEUED):
+            # journaled work is never refused on the way back in
+            self.queue.put(job, force=True)
+        for wid in range(self.config.workers):
+            t = threading.Thread(target=self._worker_loop, args=(wid,),
+                                 name=f"repro-worker-{wid}", daemon=True)
+            t.start()
+            self._threads.append(t)
+        self._keeper = threading.Thread(target=self._keeper_loop,
+                                        name="repro-lease-keeper",
+                                        daemon=True)
+        self._keeper.start()
+        # a dying parent sweeps its leases/tmp files even without a
+        # clean stop(); a SIGKILL cannot run this — that is what the
+        # startup recovery scan is for
+        atexit.register(self._atexit_cleanup)
+        return self.recovery
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Drain nothing, stop promptly: workers finish their current
+        job segment and exit."""
+        if not self._started:
+            return
+        self._stop.set()
+        self.queue.close()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        if self._keeper is not None:
+            self._keeper.join(timeout=timeout)
+        self._threads = []
+        self._keeper = None
+        self._started = False
+        atexit.unregister(self._atexit_cleanup)
+        self._release_all_leases()
+        self.store.sweep_tmp()
+
+    def _atexit_cleanup(self) -> None:
+        self._stop.set()
+        self.queue.close()
+        self._release_all_leases()
+        try:
+            self.store.sweep_tmp()
+            self.store.close()
+        except Exception:
+            pass
+
+    def _release_all_leases(self) -> None:
+        with self._tokens_lock:
+            active = list(self._tokens)
+        for job_id in active:
+            self.store.release_lease(job_id)
+
+    # -- submission / control -----------------------------------------
+
+    def submit(self, kernel: str, config: Dict[str, Any], *,
+               priority: int = 0,
+               max_retries: Optional[int] = None) -> Tuple[Job, bool]:
+        """Admit, journal and enqueue one job (idempotent).
+
+        Admission order is the backpressure contract: the queue bound
+        is checked *before* the journal write, so a refused submission
+        (:class:`~repro.runtime.errors.QueueSaturated`) leaves no
+        record.  A deduplicated resubmission returns the existing job
+        without touching the queue.
+        """
+        from repro.service.jobstore import job_identity
+
+        _, _, _, key, estimate = job_identity(kernel, config)
+        with self.store._lock:
+            known = self.store._by_key.get(key)
+        if known is None:
+            try:
+                self.queue.check_admit(estimate)
+            except Exception:
+                self.metrics.refused += 1
+                raise
+        job, created = self.store.submit(
+            kernel, config, priority=priority,
+            max_retries=(self.config.default_max_retries
+                         if max_retries is None else max_retries))
+        if created:
+            self.metrics.submitted += 1
+            self.queue.put(job, force=True)
+        else:
+            self.metrics.deduplicated += 1
+        return job, created
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a job: drop it from the queue, or trip its token.
+
+        Queued jobs cancel immediately; a running job stops at its
+        next cooperative QoS boundary (the PR-6 cancellation path) and
+        is journaled ``cancelled`` by its worker.  Terminal jobs are
+        returned unchanged — cancellation is idempotent.
+        """
+        job = self.store.get(job_id)
+        if job.terminal:
+            return job
+        if self.queue.remove(job_id) and job.state == QUEUED:
+            self.metrics.cancelled += 1
+            return self.store.transition(job_id, CANCELLED,
+                                         detail="cancelled while queued")
+        with self._tokens_lock:
+            token = self._tokens.get(job_id)
+        if token is not None:
+            token.cancel()
+        return self.store.get(job_id)
+
+    def wait(self, job_id: str,
+             timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.store.get(job_id)
+            if job.terminal:
+                return job
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return job
+            with self._done_cond:
+                self._done_cond.wait(
+                    timeout=0.05 if remaining is None
+                    else min(0.05, remaining))
+
+    def snapshot_metrics(self) -> Dict[str, Any]:
+        out = {
+            "supervisor": self.metrics.as_dict(),
+            "queue": {
+                "depth": len(self.queue),
+                "capacity": self.queue.maxsize,
+                "pending_bytes": self.queue.pending_bytes,
+            },
+            "store": self.store.metrics(),
+        }
+        if self.recovery is not None:
+            out["recovery"] = dict(vars(self.recovery))
+        return out
+
+    # -- worker internals ---------------------------------------------
+
+    def _session(self, kernel: str):
+        from repro import get_stencil
+        from repro.api.session import Session
+
+        session = self._sessions.get(kernel)
+        if session is None:
+            session = Session(get_stencil(kernel))
+            self._sessions[kernel] = session
+        return session
+
+    def _worker_loop(self, wid: int) -> None:
+        owner = f"{self._owner}/w{wid}"
+        while not self._stop.is_set():
+            job = self.queue.get(timeout=self.config.poll_s)
+            if job is None:
+                continue
+            try:
+                current = self.store.get(job.job_id)
+            except JobNotFound:  # pragma: no cover - defensive
+                continue
+            if current.state != QUEUED:
+                continue  # cancelled (or finalized) while waiting
+            if not self.store.acquire_lease(job.job_id, owner,
+                                            self.config.lease_ttl_s):
+                continue  # someone live holds it; never run twice
+            from repro.runtime.qos import CancelToken
+
+            token = CancelToken()
+            with self._tokens_lock:
+                self._tokens[job.job_id] = token
+            try:
+                self.store.transition(job.job_id, ADMITTED,
+                                      detail=f"leased by {owner}")
+                self._run_job(current, owner, token)
+            except Exception as exc:
+                self._handle_failure(current, exc)
+            finally:
+                with self._tokens_lock:
+                    self._tokens.pop(job.job_id, None)
+                self.store.release_lease(job.job_id)
+                with self._done_cond:
+                    self._done_cond.notify_all()
+
+    def _keeper_loop(self) -> None:
+        """Heartbeat: renew the leases of every in-flight job."""
+        while not self._stop.wait(self.config.lease_renew_s):
+            with self._tokens_lock:
+                active = list(self._tokens)
+            for job_id in active:
+                try:
+                    self.store.renew_lease(
+                        job_id, self._owner, self.config.lease_ttl_s)
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+    def _run_job(self, job: Job, owner: str, token) -> None:
+        """Execute one leased job, in checkpointed segments."""
+        from repro.api.config import RunConfig
+        from repro.runtime.qos import QoSPolicy
+        from repro.stencils.grid import Grid
+
+        session = self._session(job.kernel)
+        spec = session.spec
+        cfg = RunConfig.from_json(job.config).normalized()
+        shape = tuple(cfg.shape) if cfg.shape is not None \
+            else tuple(session.default_shape())
+        qos = (replace(cfg.qos, cancel_token=token)
+               if cfg.qos is not None else QoSPolicy(cancel_token=token))
+        cfg = replace(cfg, shape=shape, qos=qos)
+        total = int(cfg.steps)
+        segmented = cfg.backend in _CHECKPOINTABLE
+
+        grid = None
+        resume_step = -1
+        if segmented:
+            restored = self.store.load_checkpoint(job.job_id)
+            if restored is not None:
+                step, padded = restored
+                grid = _grid_from_buffer(spec, shape, padded)
+                resume_step = int(step)
+        self.store.transition(
+            job.job_id, RUNNING,
+            attempts=job.attempts + 1,
+            resumed_from_step=resume_step if resume_step >= 0 else None,
+            detail=(f"resumed from step {resume_step}"
+                    if resume_step >= 0 else "started"))
+        if grid is None:
+            grid = Grid(spec, shape, init="random", seed=cfg.seed)
+            k = 0
+        else:
+            k = resume_step
+            self.metrics.resumes += 1
+
+        step_quota = (self.config.checkpoint_steps if segmented else 0)
+        segments = []
+        result = None
+        while True:
+            n = (total - k) if step_quota <= 0 \
+                else min(step_quota, total - k)
+            result = session.run(replace(cfg, steps=n), grid=grid)
+            segments.append(result.stats)
+            self.metrics.segments_run += 1
+            k += n
+            if k >= total:
+                break
+            buffer = np.ascontiguousarray(grid.at(n))
+            self.store.save_checkpoint(job.job_id, k, buffer)
+            self.store.renew_lease(job.job_id, owner,
+                                   self.config.lease_ttl_s)
+            # fresh parity: local time 0 of the next segment is
+            # global time k
+            grid = _grid_from_buffer(spec, shape, buffer)
+
+        stats = _merge_stats(segments, total_steps=total,
+                             resume_step=resume_step, job_id=job.job_id)
+        interior = np.ascontiguousarray(result.interior)
+        self.store.record_result(job.job_id, interior, stats.to_json())
+        self.metrics.completed += 1
+
+    # -- failure policy -----------------------------------------------
+
+    def _classify(self, exc: Exception) -> str:
+        """``cancelled`` | ``permanent`` | ``transient``."""
+        from repro.api.backends import BackendUnsupported
+        from repro.runtime.errors import (
+            RunCancelled,
+            RunDeadlineExceeded,
+            SanitizerViolation,
+        )
+
+        if isinstance(exc, RunCancelled):
+            return "cancelled"
+        if isinstance(exc, (BackendUnsupported, SanitizerViolation,
+                            RunDeadlineExceeded, ValueError, KeyError,
+                            TypeError)):
+            # usage errors, structural refusals and blown caller
+            # deadlines reproduce identically on a retry
+            return "permanent"
+        return "transient"
+
+    def _backoff_s(self, job: Job, attempt: int) -> float:
+        base = self.config.retry_backoff_s * (2 ** max(0, attempt - 1))
+        base = min(base, self.config.retry_backoff_cap_s)
+        # deterministic jitter: seeded by (job, attempt) so two workers
+        # retrying different jobs desynchronize, yet tests replay
+        rng = random.Random(f"{job.job_id}:{attempt}")
+        return base * (1.0 + self.config.retry_jitter * rng.random())
+
+    def _handle_failure(self, job: Job, exc: Exception) -> None:
+        current = self.store.get(job.job_id)
+        verdict = self._classify(exc)
+        error, kind = str(exc), type(exc).__name__
+        if verdict == "cancelled":
+            self.metrics.cancelled += 1
+            if current.state in (ADMITTED, RUNNING):
+                self.store.transition(job.job_id, CANCELLED,
+                                      error=error, error_kind=kind)
+            return
+        attempts = max(current.attempts, 1)
+        if verdict == "transient" and attempts <= current.max_retries \
+                and not self._stop.is_set():
+            delay = self._backoff_s(current, attempts)
+            self.metrics.retries += 1
+            time.sleep(delay)
+            requeued = self.store.transition(
+                job.job_id, QUEUED, error=error, error_kind=kind,
+                detail=f"retry {attempts}/{current.max_retries} "
+                       f"after {delay * 1e3:.0f} ms backoff")
+            self.queue.put(requeued, force=True)
+            return
+        self.metrics.failed += 1
+        if current.state in (ADMITTED, RUNNING):
+            if current.state == ADMITTED:
+                # failures before the running record (config parse,
+                # checkpoint restore) still end in a legal terminal
+                # state: admitted jobs may cancel but not fail, so
+                # walk the legal edge through running
+                self.store.transition(job.job_id, RUNNING,
+                                      attempts=current.attempts + 1,
+                                      detail="failed during admission")
+            self.store.transition(job.job_id, FAILED, error=error,
+                                  error_kind=kind)

@@ -1,0 +1,107 @@
+"""Bounded priority queue: ordering, backpressure, cancellation."""
+
+import threading
+
+import pytest
+
+from repro.runtime.errors import QueueSaturated
+from repro.service import Job, JobQueue
+
+pytestmark = pytest.mark.service
+
+
+def _job(i, priority=0, estimated=0):
+    return Job(job_id=f"job-{i}", kernel="heat1d", config={},
+               idempotency_key=f"k{i}", priority=priority,
+               estimated_bytes=estimated)
+
+
+def test_priority_order_fifo_within_level():
+    q = JobQueue(maxsize=8)
+    q.put(_job(0, priority=0))
+    q.put(_job(1, priority=5))
+    q.put(_job(2, priority=5))
+    q.put(_job(3, priority=1))
+    order = [q.get(timeout=0.1).job_id for _ in range(4)]
+    assert order == ["job-1", "job-2", "job-3", "job-0"]
+
+
+def test_depth_bound_raises_queue_saturated():
+    q = JobQueue(maxsize=2)
+    q.put(_job(0))
+    q.put(_job(1))
+    with pytest.raises(QueueSaturated) as exc:
+        q.put(_job(2))
+    assert exc.value.depth == 2 and exc.value.capacity == 2
+
+
+def test_footprint_bound_raises_queue_saturated():
+    q = JobQueue(maxsize=8, max_pending_bytes=1000)
+    q.put(_job(0, estimated=600))
+    with pytest.raises(QueueSaturated) as exc:
+        q.put(_job(1, estimated=600))
+    assert exc.value.limit_bytes == 1000
+    # a smaller job still fits
+    q.put(_job(2, estimated=300))
+    assert q.pending_bytes == 900
+
+
+def test_force_put_bypasses_bounds():
+    q = JobQueue(maxsize=1)
+    q.put(_job(0))
+    q.put(_job(1), force=True)  # journaled re-queues are never refused
+    assert len(q) == 2
+
+
+def test_check_admit_probes_without_enqueueing():
+    q = JobQueue(maxsize=1)
+    q.check_admit(0)
+    q.put(_job(0))
+    with pytest.raises(QueueSaturated):
+        q.check_admit(0)
+    assert len(q) == 1
+
+
+def test_put_is_idempotent_per_job_id():
+    q = JobQueue(maxsize=4)
+    job = _job(0, estimated=100)
+    q.put(job)
+    q.put(job)
+    assert len(q) == 1 and q.pending_bytes == 100
+
+
+def test_remove_drops_waiting_job_and_footprint():
+    q = JobQueue(maxsize=4, max_pending_bytes=1000)
+    q.put(_job(0, estimated=400))
+    q.put(_job(1, estimated=300))
+    assert q.remove("job-0")
+    assert not q.remove("job-0")
+    assert len(q) == 1 and q.pending_bytes == 300
+    assert q.get(timeout=0.1).job_id == "job-1"
+
+
+def test_get_timeout_returns_none():
+    q = JobQueue(maxsize=2)
+    assert q.get(timeout=0.01) is None
+
+
+def test_blocked_get_wakes_on_put():
+    q = JobQueue(maxsize=2)
+    out = []
+    t = threading.Thread(target=lambda: out.append(q.get(timeout=5.0)))
+    t.start()
+    q.put(_job(0))
+    t.join(timeout=5.0)
+    assert out and out[0].job_id == "job-0"
+
+
+def test_close_wakes_blocked_getters_and_refuses_puts():
+    q = JobQueue(maxsize=2)
+    out = []
+    t = threading.Thread(target=lambda: out.append(q.get(timeout=5.0)))
+    t.start()
+    q.close()
+    t.join(timeout=5.0)
+    assert out == [None]
+    with pytest.raises(RuntimeError, match="closed"):
+        q.put(_job(0))
