@@ -59,7 +59,9 @@ process lost, respawn budget spent), 7 = :class:`ExchangeTimeoutError`
 and no fallback backend finished in time),
 10 = :class:`QueueSaturated` (the job queue refused a submission —
 back off and retry), 11 = :class:`JobNotFound` (``status``/``result``
-for an unknown job id).
+for an unknown job id), 12 = :class:`WorkerCrashed` (a job killed its
+isolated worker — segfault/OOM/SIGKILL — and was quarantined as
+``poisoned`` after exhausting its crash budget).
 """
 
 from __future__ import annotations
@@ -80,6 +82,7 @@ from repro.runtime.errors import (
     EXIT_RANK_LOST,
     EXIT_SANITIZER,
     EXIT_USAGE,
+    EXIT_WORKER_CRASHED,
     ChecksumMismatchError,
     ExchangeTimeoutError,
     ExecutionError,
@@ -89,6 +92,7 @@ from repro.runtime.errors import (
     RankLostError,
     RunDeadlineExceeded,
     SanitizerViolation,
+    WorkerCrashed,
 )
 
 __all__ = ["main", "SCHEMES"]
@@ -252,6 +256,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-fsync", action="store_true",
                        help="skip fsync on journal appends (tests "
                        "only; forfeits the power-loss guarantee)")
+    serve.add_argument("--isolation", default=None,
+                       choices=["thread", "process"],
+                       help="run jobs in-thread (default, zero "
+                       "overhead) or in sandboxed worker child "
+                       "processes (crash containment, exit 12)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="on SIGTERM, wait this long for in-flight "
+                       "jobs to finish before asking them to stop at "
+                       "their next checkpoint")
+    serve.add_argument("--max-worker-crashes", type=int, default=3,
+                       help="quarantine a job as failed/'poisoned' "
+                       "after it crashes this many workers")
 
     submit = sub.add_parser(
         "submit", help="journal a job (to a server or a store dir)")
@@ -280,6 +297,13 @@ def _build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--wait", action="store_true",
                         help="block until the job is terminal; with "
                         "--root, drain the store in-process")
+    submit.add_argument("--isolation", default=None,
+                        choices=["thread", "process"],
+                        help="(--root --wait mode) isolation of the "
+                        "in-process drain supervisor")
+    submit.add_argument("--max-worker-crashes", type=int, default=3,
+                        help="(--root --wait mode) poison-quarantine "
+                        "budget of the drain supervisor")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="--wait budget in seconds")
 
@@ -663,14 +687,20 @@ def cmd_bench(args) -> int:
 def _supervisor_config(args):
     from repro.service import SupervisorConfig
 
-    return SupervisorConfig(
+    kwargs = dict(
         workers=args.workers,
         queue_depth=args.queue_depth,
         max_pending_bytes=(int(args.max_pending_mb * 1e6)
                            if args.max_pending_mb is not None else None),
         checkpoint_steps=args.checkpoint_every,
         default_max_retries=args.retries,
+        max_worker_crashes=args.max_worker_crashes,
+        drain_timeout_s=args.drain_timeout,
     )
+    if args.isolation is not None:
+        # None keeps the config default (REPRO_ISOLATION env or thread)
+        kwargs["isolation"] = args.isolation
+    return SupervisorConfig(**kwargs)
 
 
 def cmd_serve(args) -> int:
@@ -688,6 +718,7 @@ def cmd_serve(args) -> int:
     with ServiceFront(sup, host=args.host, port=args.port) as front:
         print(f"serving on {front.url} "
               f"(workers={args.workers} queue={args.queue_depth} "
+              f"isolation={sup.config.isolation} "
               f"checkpoint_every={args.checkpoint_every})")
         sys.stdout.flush()
         try:
@@ -695,7 +726,16 @@ def cmd_serve(args) -> int:
                 pass
         except KeyboardInterrupt:
             pass
-    print("draining workers...")
+        # graceful drain: the front keeps serving (new submissions get
+        # 503 {"state": "draining"}, reads still answer) while
+        # in-flight jobs finish — or stop at their next checkpoint and
+        # requeue, journaled, for the next incarnation
+        print("draining: refusing new submissions...")
+        sys.stdout.flush()
+        clean = sup.drain(args.drain_timeout)
+    print("drained cleanly" if clean else
+          "drain timed out; in-flight work requeued at its last "
+          "checkpoint")
     sup.stop()
     store.close()
     return 0
@@ -733,7 +773,12 @@ def cmd_submit(args) -> int:
                 if st["state"] in ("done", "failed", "cancelled"):
                     print(f"job {out['job_id']} {st['state']}"
                           + (f": {st['error']}" if st.get("error") else ""))
-                    return 0 if st["state"] == "done" else EXIT_EXECUTION
+                    if st["state"] == "done":
+                        return 0
+                    if st.get("error_kind") in ("poisoned",
+                                                "WorkerCrashed"):
+                        return EXIT_WORKER_CRASHED
+                    return EXIT_EXECUTION
                 _time.sleep(0.2)
             print(f"job {out['job_id']} still "
                   f"{st['state']} after {args.timeout:.0f}s",
@@ -757,7 +802,11 @@ def cmd_submit(args) -> int:
         if not args.wait:
             return 0
         # drain in place: a short-lived supervisor owns the store
-        sup = Supervisor(store, SupervisorConfig(workers=1))
+        cfg_kwargs = dict(workers=1,
+                          max_worker_crashes=args.max_worker_crashes)
+        if args.isolation is not None:
+            cfg_kwargs["isolation"] = args.isolation
+        sup = Supervisor(store, SupervisorConfig(**cfg_kwargs))
         sup.start()
         try:
             job = sup.wait(job.job_id, timeout=args.timeout)
@@ -765,7 +814,11 @@ def cmd_submit(args) -> int:
             sup.stop()
         print(f"job {job.job_id} {job.state}"
               + (f": {job.error}" if job.error else ""))
-        return 0 if job.state == "done" else EXIT_EXECUTION
+        if job.state == "done":
+            return 0
+        if job.error_kind in ("poisoned", "WorkerCrashed"):
+            return EXIT_WORKER_CRASHED
+        return EXIT_EXECUTION
 
 
 def cmd_status(args) -> int:
@@ -869,6 +922,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except RunDeadlineExceeded as e:
         print(f"deadline exceeded: {e}", file=sys.stderr)
         return EXIT_DEADLINE
+    except WorkerCrashed as e:
+        print(f"worker crashed: {e}", file=sys.stderr)
+        return EXIT_WORKER_CRASHED
     except ExecutionError as e:
         print(f"execution failed: {e}", file=sys.stderr)
         return EXIT_EXECUTION

@@ -42,7 +42,21 @@ tracebacks:
   runtime's verdicts (:mod:`repro.service`): the bounded submission
   queue refused a job instead of buffering unboundedly (backpressure,
   never silent queueing), or a job id was addressed that the job
-  store's journal has never seen.
+  store's journal has never seen;
+* :class:`WorkerCrashed` — a process-isolated service worker died
+  under a job (SIGKILL/segfault/OOM, detected by process exit or
+  heartbeat silence).  Transient by default: the job's lease expires
+  and it is requeued to resume from its newest checkpoint — unless it
+  keeps killing workers, in which case the supervisor quarantines it
+  as ``failed``/``"poisoned"``;
+* :class:`ServiceDraining` — the service received SIGTERM and stopped
+  admitting work (a :class:`QueueSaturated` subclass: same exit code,
+  but HTTP **503** so clients can tell "retry elsewhere/later" apart
+  from "shrink the request");
+* :class:`StaleLeaseError` — an epoch-fenced store mutation (result
+  commit, checkpoint seal, lease renewal) arrived from a worker
+  incarnation whose lease was already reclaimed; the store refuses it
+  so a stalled old worker can never overwrite its successor's work.
 
 Exit-code mapping used by ``python -m repro`` (see
 :func:`repro.cli.main`): usage/:class:`ValueError` → 2,
@@ -50,7 +64,7 @@ Exit-code mapping used by ``python -m repro`` (see
 :class:`SanitizerViolation` → 5, :class:`RankLostError` → 6,
 :class:`ExchangeTimeoutError` → 7, :class:`ChecksumMismatchError` → 8,
 :class:`RunDeadlineExceeded` → 9, :class:`QueueSaturated` → 10,
-:class:`JobNotFound` → 11.
+:class:`JobNotFound` → 11, :class:`WorkerCrashed` → 12.
 """
 
 from __future__ import annotations
@@ -70,6 +84,7 @@ EXIT_CHECKSUM = 8
 EXIT_DEADLINE = 9
 EXIT_QUEUE_SATURATED = 10
 EXIT_JOB_NOT_FOUND = 11
+EXIT_WORKER_CRASHED = 12
 
 
 class QueueSaturated(RuntimeError):
@@ -115,6 +130,48 @@ class JobNotFound(KeyError):
 
     def __str__(self) -> str:  # KeyError quotes its args; keep prose
         return self.args[0]
+
+
+class ServiceDraining(QueueSaturated):
+    """The service is draining (SIGTERM) and refuses new submissions.
+
+    A :class:`QueueSaturated` subclass — the caller-side remedy is the
+    same "come back later", and the CLI keeps exit code 10 — but the
+    HTTP front maps it to **503** with ``{"state": "draining"}`` so a
+    load balancer can tell a full queue (429, retry with backoff) from
+    a terminating instance (503, fail over now).  In-flight and queued
+    jobs stay journaled; only *new* admissions are refused.
+    """
+
+    def __init__(self, detail: str = ""):
+        self.depth = 0
+        self.capacity = 0
+        self.pending_bytes = 0
+        self.limit_bytes = None
+        why = detail or "service is draining; new submissions refused"
+        RuntimeError.__init__(self, why)
+
+
+class StaleLeaseError(RuntimeError):
+    """An epoch-fenced store mutation came from a reclaimed lease.
+
+    Every lease acquisition mints a fresh monotonic *epoch*; result
+    commits, checkpoint seals and lease renewals carry the epoch they
+    were started under.  A worker incarnation whose lease was declared
+    dead and reclaimed (heartbeat silence, crash takeover) may still be
+    alive and finish late — the store refuses its writes instead of
+    letting it overwrite the successor's.  The classic fencing-token
+    discipline: detection at commit time, not trust in timeouts.
+    """
+
+    def __init__(self, job_id: str, epoch: int, current: int,
+                 *, what: str = "commit"):
+        self.job_id = job_id
+        self.epoch = epoch
+        self.current = current
+        super().__init__(
+            f"stale lease epoch {epoch} for job {job_id} "
+            f"({what} refused; current epoch is {current})")
 
 
 class InjectedFault(RuntimeError):
@@ -289,6 +346,36 @@ class RankLostError(ExecutionError):
             f"rank {rank} lost ({cause}) after {respawns} respawn(s){extra}",
             task_label=f"rank {rank}",
             attempts=respawns + 1,
+        )
+
+
+class WorkerCrashed(ExecutionError):
+    """A process-isolated service worker died while running a job.
+
+    Raised supervisor-side when a worker child's process exits (killed,
+    segfaulted, OOM'd) or its heartbeat goes silent past the watchdog
+    timeout while a job was assigned to it.  ``cause`` distinguishes a
+    dead process (``"exit"``), a missed heartbeat (``"heartbeat"``), a
+    child that hit its rlimit (``"oom"``) and a payload that failed its
+    CRC (``"checksum"``).  Transient by default — the job requeues and
+    resumes from its newest checkpoint — but a job that keeps crashing
+    workers is quarantined as ``failed``/``"poisoned"`` after
+    ``max_worker_crashes`` attempts.  CLI exit code 12.
+    """
+
+    def __init__(self, job_id: str, worker: int, cause: str, *,
+                 exit_code: "Optional[int]" = None, detail: str = ""):
+        self.job_id = job_id
+        self.worker = worker
+        self.cause = cause
+        self.exit_code = exit_code
+        extra = f": {detail}" if detail else ""
+        code = f", exit code {exit_code}" if exit_code is not None else ""
+        ExecutionError.__init__(
+            self,
+            f"worker {worker} crashed ({cause}{code}) while running "
+            f"job {job_id}{extra}",
+            task_label=f"worker {worker}",
         )
 
 

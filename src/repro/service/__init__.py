@@ -10,7 +10,11 @@ pipeline into something a caller can *submit to and walk away from*:
   backpressure reuses the QoS admission estimate
   (:class:`~repro.runtime.errors.QueueSaturated`, exit 10);
 * :mod:`repro.service.supervisor` — leased worker pool with retry +
-  exponential backoff, segmented checkpointing, bit-identical resume;
+  exponential backoff, segmented checkpointing, bit-identical resume,
+  epoch-fenced commits and graceful drain;
+* :mod:`repro.service.isolation` — sandboxed worker-child processes
+  (``isolation="process"``): crash containment, heartbeat watchdog,
+  RLIMIT_AS memory ceilings, poison-job quarantine;
 * :mod:`repro.service.front` — stdlib HTTP front + client helpers
   (``repro serve`` / ``submit`` / ``status`` / ``result``).
 
@@ -42,6 +46,12 @@ from repro.service.jobstore import (
     RecoveryReport,
     job_identity,
 )
+from repro.service.isolation import (
+    CHECKPOINTABLE,
+    ChildConfig,
+    JobAssignment,
+    worker_child_main,
+)
 from repro.service.queue import JobQueue
 from repro.service.supervisor import Supervisor, SupervisorConfig
 
@@ -63,6 +73,10 @@ __all__ = [
     "STATES",
     "TERMINAL_STATES",
     "LEGAL_TRANSITIONS",
+    "CHECKPOINTABLE",
+    "ChildConfig",
+    "JobAssignment",
+    "worker_child_main",
     "job_identity",
     "submit_job",
     "job_status",

@@ -17,12 +17,19 @@ GET    ``/jobs/<id>``             full job status (journaled view)
 GET    ``/jobs/<id>/result``      sealed result: stats + interior
                                   array; 409 until the job is ``done``
 POST   ``/jobs/<id>/cancel``      cancel (idempotent)
-GET    ``/metrics``               supervisor + queue + store counters
-GET    ``/healthz``               liveness probe
+GET    ``/metrics``               supervisor + queue + store counters,
+                                  plus per-worker liveness
+GET    ``/healthz``               deep liveness: per-worker heartbeat
+                                  age / current job / incarnation and
+                                  queue pressure; **503** with
+                                  ``{"state": "draining"}`` while the
+                                  service drains
 ====== ========================== =====================================
 
 Failure taxonomy on the wire mirrors the CLI exit codes:
 :class:`~repro.runtime.errors.QueueSaturated` → **429** (exit 10),
+:class:`~repro.runtime.errors.ServiceDraining` → **503** (a draining
+server refuses new submissions but keeps answering reads),
 :class:`~repro.runtime.errors.JobNotFound` → **404** (exit 11), usage
 errors → 400.  Every error body is ``{"error", "kind"}`` so clients
 re-raise the typed exception — the module's client helpers
@@ -39,7 +46,11 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.request import Request, urlopen
 
-from repro.runtime.errors import JobNotFound, QueueSaturated
+from repro.runtime.errors import (
+    JobNotFound,
+    QueueSaturated,
+    ServiceDraining,
+)
 
 __all__ = [
     "ServiceFront",
@@ -56,6 +67,11 @@ _MAX_BODY = 8 << 20  # request bodies are job specs, not bulk data
 def _error_payload(exc: Exception) -> Tuple[int, Dict[str, Any]]:
     """Map an exception to ``(http_status, body)`` — the wire-side
     mirror of the CLI's exit-code taxonomy."""
+    if isinstance(exc, ServiceDraining):
+        # checked before QueueSaturated: draining subclasses it so
+        # existing retry-on-saturation clients keep working
+        return 503, {"error": str(exc), "kind": "ServiceDraining",
+                     "state": "draining"}
     if isinstance(exc, QueueSaturated):
         return 429, {"error": str(exc), "kind": "QueueSaturated"}
     if isinstance(exc, JobNotFound):
@@ -101,7 +117,8 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [p for p in self.path.split("?", 1)[0].split("/") if p]
         if self.command == "GET":
             if parts == ["healthz"]:
-                return 200, {"ok": True}
+                health = sup.health()
+                return (200 if health.get("ok") else 503), health
             if parts == ["metrics"]:
                 return 200, sup.snapshot_metrics()
             if parts == ["jobs"]:
@@ -236,6 +253,8 @@ def _request(base: str, path: str, *, method: str = "GET",
 def _typed(payload: Dict[str, Any], status: int) -> Exception:
     kind = payload.get("kind", "")
     message = payload.get("error", f"HTTP {status}")
+    if kind == "ServiceDraining" or status == 503:
+        return ServiceDraining(message)
     if kind == "QueueSaturated" or status == 429:
         return QueueSaturated(0, 0, detail=message)
     if kind == "JobNotFound" or status == 404:

@@ -37,7 +37,12 @@ rather than trusted.
 Leases (``leases/<job_id>.lease``) are deliberately *not* journaled:
 they are advisory liveness claims owned by one supervisor process, and
 a crash must leave nothing that blocks a successor — recovery sweeps
-them wholesale.
+them wholesale.  Every acquisition mints a monotonically increasing
+*epoch* (a fencing token): result commits, checkpoint seals and lease
+renewals may carry the epoch they were started under, and the store
+refuses mutations from an epoch that has since been reclaimed
+(:class:`~repro.runtime.errors.StaleLeaseError`) — a stalled old
+worker incarnation can never seal a result over its successor's.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.runtime.errors import JobNotFound
+from repro.runtime.errors import JobNotFound, StaleLeaseError
 
 __all__ = [
     "QUEUED",
@@ -128,6 +133,9 @@ class Job:
     error_kind: str = ""
     #: step the last successful run segment resumed from (-1 = fresh)
     resumed_from_step: int = -1
+    #: times this job crashed its worker process (poison accounting;
+    #: a job reaching ``max_worker_crashes`` is quarantined)
+    worker_crashes: int = 0
     #: journaled checkpoints, oldest first: (step, relpath, sha256)
     checkpoints: List[Tuple[int, str, str]] = field(default_factory=list)
     result_path: str = ""
@@ -290,6 +298,10 @@ class JobStore:
         self._dedup_hits = 0
         self._results_stored = 0
         self._checkpoints_taken = 0
+        self._stale_rejected = 0
+        #: job_id -> most recently minted lease epoch (fencing tokens;
+        #: in-memory only — leases are advisory and swept on recovery)
+        self._lease_epochs: Dict[str, int] = {}
         for sub in ("journal", "results", "checkpoints", "leases"):
             os.makedirs(os.path.join(self.root, sub), exist_ok=True)
         self._journal_path = os.path.join(self.root, "journal",
@@ -378,6 +390,8 @@ class JobStore:
             job.error_kind = record.get("error_kind", job.error_kind)
             job.resumed_from_step = int(
                 record.get("resumed_from_step", job.resumed_from_step))
+            job.worker_crashes = int(
+                record.get("worker_crashes", job.worker_crashes))
         elif op == "checkpoint":
             job = self._jobs.get(record["job_id"])
             if job is not None:
@@ -444,7 +458,8 @@ class JobStore:
     def transition(self, job_id: str, to: str, *, detail: str = "",
                    error: str = "", error_kind: str = "",
                    attempts: Optional[int] = None,
-                   resumed_from_step: Optional[int] = None) -> Job:
+                   resumed_from_step: Optional[int] = None,
+                   worker_crashes: Optional[int] = None) -> Job:
         """Atomically journal and apply one legal state transition.
 
         Journal-first: the record is durable before the in-memory
@@ -473,6 +488,8 @@ class JobStore:
                 record["attempts"] = int(attempts)
             if resumed_from_step is not None:
                 record["resumed_from_step"] = int(resumed_from_step)
+            if worker_crashes is not None:
+                record["worker_crashes"] = int(worker_crashes)
             self._append(record)
             job.state = to
             if attempts is not None:
@@ -483,21 +500,27 @@ class JobStore:
                 job.error_kind = error_kind
             if resumed_from_step is not None:
                 job.resumed_from_step = int(resumed_from_step)
+            if worker_crashes is not None:
+                job.worker_crashes = int(worker_crashes)
             return job
 
     # -- checkpoints --------------------------------------------------
 
     def save_checkpoint(self, job_id: str, step: int,
-                        buffer: np.ndarray) -> str:
+                        buffer: np.ndarray,
+                        epoch: Optional[int] = None) -> str:
         """Seal a mid-run checkpoint: the padded buffer at time ``step``.
 
         The file is written with fsync + rename, hashed, and only then
         journaled — so a checkpoint record always points at a whole
         file.  Older checkpoints beyond :data:`KEEP_CHECKPOINTS` are
         pruned from disk (their journal records stay; restore skips
-        missing files).
+        missing files).  With ``epoch``, a seal from a reclaimed lease
+        raises :class:`StaleLeaseError` before anything is written — a
+        stalled old worker must not inject a resume point.
         """
         with self._lock:
+            self._check_epoch(job_id, epoch, "checkpoint")
             job = self.get(job_id)
             rel = os.path.join("checkpoints", job_id,
                                f"step-{step:08d}.npy")
@@ -551,16 +574,20 @@ class JobStore:
     # -- results ------------------------------------------------------
 
     def record_result(self, job_id: str, interior: np.ndarray,
-                      stats: Dict[str, Any]) -> Job:
+                      stats: Dict[str, Any],
+                      epoch: Optional[int] = None) -> Job:
         """Seal the answer and move the job to ``done``.
 
         Write order is the recovery contract: array file (fsync +
         rename), ``result`` journal record (path + SHA-256 + stats),
         then the ``running → done`` transition.  A crash between the
         last two leaves a sealed result that recovery finalizes instead
-        of re-running.
+        of re-running.  With ``epoch``, a commit from a reclaimed lease
+        raises :class:`StaleLeaseError` before anything is written —
+        the fencing-token pattern that makes lease takeover safe.
         """
         with self._lock:
+            self._check_epoch(job_id, epoch, "result commit")
             job = self.get(job_id)
             rel = os.path.join("results", f"{job_id}.npy")
             path = os.path.join(self.root, rel)
@@ -599,43 +626,95 @@ class JobStore:
         return os.path.join(self.root, "leases", f"{job_id}.lease")
 
     def acquire_lease(self, job_id: str, owner: str,
-                      ttl_s: float) -> bool:
-        """Claim a job for one worker; False if another lease is live."""
+                      ttl_s: float) -> Optional[int]:
+        """Claim a job for one worker; ``None`` if another lease is live.
+
+        On success returns the claim's fresh *epoch* — a monotonically
+        increasing fencing token (≥ 1, so truthiness keeps meaning
+        "acquired").  Epoch-carrying mutations from earlier claims are
+        refused from then on: a takeover does not merely assume the old
+        holder is dead, it makes the old holder's writes impossible.
+        """
         path = self._lease_path(job_id)
-        payload = json.dumps({
-            "job_id": job_id, "owner": owner, "pid": os.getpid(),
-            "expires_unix": time.time() + ttl_s,
-        }).encode()
         with self._lock:
+            epoch = self._next_epoch(job_id, path)
+            payload = self._lease_payload(job_id, owner, ttl_s, epoch)
             try:
                 with open(path, "xb") as fh:
                     fh.write(payload)
-                return True
+                self._lease_epochs[job_id] = epoch
+                return epoch
             except FileExistsError:
                 pass
             holder = self._read_lease(path)
             if (holder is not None and holder.get("owner") != owner
                     and holder.get("expires_unix", 0) > time.time()):
-                return False
+                return None
             # stale (expired / unreadable) or our own: take it over
             _atomic_write_bytes(path, payload, fsync=False)
-            return True
+            self._lease_epochs[job_id] = epoch
+            return epoch
 
-    def renew_lease(self, job_id: str, owner: str, ttl_s: float) -> None:
-        """Heartbeat: push the lease expiry forward."""
-        path = self._lease_path(job_id)
-        payload = json.dumps({
+    def _next_epoch(self, job_id: str, path: str) -> int:
+        """Mint a fencing token above every epoch ever observed."""
+        known = self._lease_epochs.get(job_id, 0)
+        holder = self._read_lease(path)
+        on_disk = int(holder.get("epoch", 0)) if holder else 0
+        return max(known, on_disk) + 1
+
+    @staticmethod
+    def _lease_payload(job_id: str, owner: str, ttl_s: float,
+                       epoch: int) -> bytes:
+        return json.dumps({
             "job_id": job_id, "owner": owner, "pid": os.getpid(),
+            "epoch": int(epoch),
             "expires_unix": time.time() + ttl_s,
         }).encode()
-        with self._lock:
-            _atomic_write_bytes(path, payload, fsync=False)
 
-    def release_lease(self, job_id: str) -> None:
-        try:
-            os.unlink(self._lease_path(job_id))
-        except OSError:
-            pass
+    def lease_epoch(self, job_id: str) -> int:
+        """The current (most recently minted) epoch; 0 = never leased."""
+        with self._lock:
+            return self._lease_epochs.get(job_id, 0)
+
+    def _check_epoch(self, job_id: str, epoch: Optional[int],
+                     what: str) -> None:
+        if epoch is None:
+            return
+        current = self._lease_epochs.get(job_id, int(epoch))
+        if int(epoch) != current:
+            self._stale_rejected += 1
+            raise StaleLeaseError(job_id, int(epoch), current, what=what)
+
+    def renew_lease(self, job_id: str, owner: str, ttl_s: float,
+                    epoch: Optional[int] = None) -> None:
+        """Heartbeat: push the lease expiry forward.
+
+        With ``epoch``, a renewal from a reclaimed incarnation raises
+        :class:`StaleLeaseError` instead of resurrecting the old claim
+        over the new holder's.
+        """
+        path = self._lease_path(job_id)
+        with self._lock:
+            self._check_epoch(job_id, epoch, "renew")
+            current = (int(epoch) if epoch is not None
+                       else self._lease_epochs.get(job_id, 0))
+            _atomic_write_bytes(
+                path, self._lease_payload(job_id, owner, ttl_s, current),
+                fsync=False)
+
+    def release_lease(self, job_id: str,
+                      epoch: Optional[int] = None) -> None:
+        """Drop a claim; a stale ``epoch`` is a silent no-op (the lease
+        now belongs to a newer incarnation and must survive)."""
+        with self._lock:
+            if (epoch is not None
+                    and self._lease_epochs.get(job_id, int(epoch))
+                    != int(epoch)):
+                return
+            try:
+                os.unlink(self._lease_path(job_id))
+            except OSError:
+                pass
 
     def lease_holder(self, job_id: str) -> Optional[Dict[str, Any]]:
         return self._read_lease(self._lease_path(job_id))
@@ -716,6 +795,7 @@ class JobStore:
                 "dedup_hits": self._dedup_hits,
                 "results_stored": self._results_stored,
                 "checkpoints_taken": self._checkpoints_taken,
+                "stale_rejected": self._stale_rejected,
             }
 
     def close(self) -> None:

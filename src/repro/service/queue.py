@@ -26,7 +26,7 @@ import heapq
 import threading
 from typing import List, Optional, Tuple
 
-from repro.runtime.errors import QueueSaturated
+from repro.runtime.errors import QueueSaturated, ServiceDraining
 from repro.service.jobstore import Job
 
 __all__ = ["JobQueue"]
@@ -46,6 +46,7 @@ class JobQueue:
         self._pending_bytes = 0
         self._seq = 0
         self._closed = False
+        self._draining = False
         self._cond = threading.Condition()
 
     def __len__(self) -> int:
@@ -66,7 +67,18 @@ class JobQueue:
         with self._cond:
             self._check(int(estimated_bytes))
 
+    def set_draining(self, draining: bool = True) -> None:
+        """Refuse all admission checks while the service drains.
+
+        Internal ``put(..., force=True)`` re-queues keep working — a
+        journaled job must never be dropped by a drain.
+        """
+        with self._cond:
+            self._draining = bool(draining)
+
     def _check(self, estimated_bytes: int) -> None:
+        if self._draining:
+            raise ServiceDraining()
         if len(self._heap) >= self.maxsize:
             raise QueueSaturated(len(self._heap), self.maxsize)
         limit = self.max_pending_bytes

@@ -107,11 +107,37 @@ def test_metrics_healthz_and_listing(served):
     assert m["store"]["jobs"]["done"] == 1
     assert m["queue"]["capacity"] == 64
     assert "recovery" in m
+    assert m["state"] == "serving"
+    assert [w["worker"] for w in m["workers"]] == [0]
     with urllib.request.urlopen(f"{url}/healthz", timeout=10) as r:
-        assert json.loads(r.read()) == {"ok": True}
+        health = json.loads(r.read())
+    assert health["ok"] and health["state"] == "serving"
+    assert health["isolation"] == sup.config.isolation
+    assert health["queue"]["capacity"] == 64
+    (w,) = health["workers"]
+    assert w["worker"] == 0 and w["job_id"] is None
+    assert w["heartbeat_age_s"] is not None
     with urllib.request.urlopen(f"{url}/jobs", timeout=10) as r:
         jobs = json.loads(r.read())["jobs"]
     assert [j["state"] for j in jobs] == ["done"]
+
+
+def test_draining_maps_to_typed_503(served):
+    import urllib.error
+
+    from repro.runtime.errors import ServiceDraining
+
+    url, sup, _ = served
+    sup.begin_drain()
+    with pytest.raises(ServiceDraining):
+        submit_job(url, "heat1d", CFG)
+    with pytest.raises(urllib.error.HTTPError) as err:
+        urllib.request.urlopen(f"{url}/healthz", timeout=10)
+    assert err.value.code == 503
+    health = json.loads(err.value.read())
+    assert health["state"] == "draining" and not health["ok"]
+    # reads still answer while draining
+    assert server_metrics(url)["state"] == "draining"
 
 
 def test_malformed_submission_is_400(served):

@@ -1,5 +1,6 @@
 """Supervisor: execution, retry/backoff, cancellation, resume."""
 
+import os
 import threading
 import time
 
@@ -20,6 +21,13 @@ from repro.service import (
 )
 
 pytestmark = pytest.mark.service
+
+#: tests that inject a wrapped session into the supervisor process
+#: only make sense in thread mode — a process-mode child builds its
+#: own sessions on the far side of the fork
+THREAD_ONLY = pytest.mark.skipif(
+    os.environ.get("REPRO_ISOLATION") == "process",
+    reason="session-injection hooks are thread-mode only")
 
 CFG = {"shape": [48], "steps": 24, "backend": "serial"}
 
@@ -143,6 +151,7 @@ class _Gate:
         return self._session.run(config, **kw)
 
 
+@THREAD_ONLY
 def test_transient_failure_retries_with_backoff(store):
     sup = Supervisor(store, SupervisorConfig(
         workers=1, retry_backoff_s=0.001, retry_backoff_cap_s=0.01))
@@ -161,6 +170,7 @@ def test_transient_failure_retries_with_backoff(store):
     np.testing.assert_array_equal(interior, _direct())
 
 
+@THREAD_ONLY
 def test_retry_budget_exhaustion_fails_with_error_kind(store):
     sup = Supervisor(store, SupervisorConfig(
         workers=1, retry_backoff_s=0.001, default_max_retries=1))
@@ -186,6 +196,7 @@ def test_permanent_failure_never_retries(store, sup):
     assert sup.metrics.retries == 0
 
 
+@THREAD_ONLY
 def test_cancel_running_job_stops_at_boundary(store):
     sup = Supervisor(store, SupervisorConfig(workers=1))
     hold = threading.Event()
@@ -207,6 +218,7 @@ def test_cancel_running_job_stops_at_boundary(store):
     assert sup.metrics.cancelled == 1
 
 
+@THREAD_ONLY
 def test_in_process_resume_after_mid_run_failure(store):
     """A job that dies between segments resumes from its checkpoint —
     and the resumed result is bit-identical to an unbroken run."""
@@ -240,6 +252,29 @@ def test_in_process_resume_after_mid_run_failure(store):
     np.testing.assert_array_equal(interior, _direct())
     # the resumption is visible in the result's trace events
     assert any(e.get("kind") == "resume" for e in stats["events"])
+
+
+@THREAD_ONLY
+def test_stop_returns_promptly_during_retry_backoff(store):
+    """Regression: the retry backoff used to be a bare time.sleep, so
+    stop()/drain could block for up to retry_backoff_cap_s per pending
+    retry.  The wait now sits on an interrupt event stop() sets."""
+    sup = Supervisor(store, SupervisorConfig(
+        workers=1, default_max_retries=5,
+        retry_backoff_s=30.0, retry_backoff_cap_s=30.0))
+    gate = _Gate(Session(get_stencil("heat1d")), fail_first=99)
+    sup._sessions["heat1d"] = gate
+    sup.start()
+    job, _ = sup.submit("heat1d", CFG)
+    deadline = time.monotonic() + 30
+    while gate.calls < 1 and time.monotonic() < deadline:
+        time.sleep(0.005)
+    time.sleep(0.05)  # let the worker enter its 30 s backoff wait
+    t0 = time.monotonic()
+    sup.stop()
+    assert time.monotonic() - t0 < 5.0  # far under one backoff
+    # the interrupted retry is journaled queued, not lost
+    assert store.get(job.job_id).state == QUEUED
 
 
 def test_recovery_requeue_runs_to_completion(tmp_path):
