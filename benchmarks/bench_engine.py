@@ -52,6 +52,20 @@ from repro.runtime.threadpool import _execute_threaded
 
 SCHEMA = "bench-engine/1"
 
+
+def env_fingerprint():
+    """The measurement environment: enough to spot stale baselines."""
+    return {
+        "numpy": np.__version__,
+        "cpus": os.cpu_count(),
+        "threads_env": {
+            k: os.environ[k]
+            for k in ("OMP_NUM_THREADS", "OPENBLAS_NUM_THREADS",
+                      "MKL_NUM_THREADS")
+            if k in os.environ
+        },
+    }
+
 #: (name, kernel, shape, steps, b, merged, threads, quick)
 WORKLOADS = [
     ("fig8-heat1d-quick", "heat1d", (4000,), 16, 4, False, 1, True),
@@ -142,9 +156,15 @@ def _row_key(row):
     return (row["name"], row["threads"])
 
 
-def check_regression(rows, baseline_path, tolerance):
+def check_regression(rows, baseline_path, tolerance, env=None):
     with open(baseline_path) as fh:
         base = json.load(fh)
+    base_env = base.get("env")
+    if env is not None and base_env is not None and base_env != env:
+        print(f"WARNING: environment fingerprint differs from "
+              f"{baseline_path}: baseline {base_env}, current {env} "
+              f"(speedup ratios are still compared; absolute numbers "
+              f"are not comparable)", file=sys.stderr)
     base_rows = {_row_key(r): r for r in base.get("rows", [])}
     compared, failures = 0, []
     for row in rows:
@@ -202,10 +222,12 @@ def main(argv=None):
               f"compiled {row['compiled_s'] * 1e3:8.1f} ms  "
               f"{row['speedup']:6.1f}x{flag}")
 
+    env = env_fingerprint()
     payload = {
         "schema": SCHEMA,
         "quick": bool(args.quick),
         "repeat": repeat,
+        "env": env,
         "cache": cache.stats.as_dict(),
         "rows": rows,
     }
@@ -219,7 +241,8 @@ def main(argv=None):
         print("FAILED: compiled results are not bit-identical",
               file=sys.stderr)
     if args.check:
-        ok = check_regression(rows, args.check, args.tolerance) and ok
+        ok = check_regression(rows, args.check, args.tolerance,
+                              env=env) and ok
     return 0 if ok else 1
 
 

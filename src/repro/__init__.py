@@ -41,7 +41,7 @@ from repro.api import (
     run,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "Grid",

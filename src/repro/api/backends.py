@@ -10,6 +10,7 @@ to singleton instances:
 ================== =================================================
 ``serial``          sequential schedule walker (the validation path)
 ``compiled``        compiled-plan stream (:mod:`repro.engine`)
+``batched``         one compiled plan over N stacked instances
 ``threaded``        barrier-group thread pool, fail-fast
 ``resilient``       checkpoint/restart + retries + guards
 ``distributed``     in-process rank simulator with band exchanges
@@ -69,6 +70,9 @@ class ExecutionContext:
     #: armed RunBudget when the config carries a QoSPolicy with a
     #: deadline or cancel token; None keeps the pre-QoS code path
     budget: object = None
+    #: Sequence[Grid] for a batched (many-instances) run; ``grid`` is
+    #: then the first member.  None for every single-instance backend
+    batch_grids: object = None
 
 
 @dataclass
@@ -199,6 +203,60 @@ class CompiledBackend(Backend):
                             arena=ctx.config.options.get("arena"),
                             budget=ctx.budget)
         return BackendOutcome(interior=out)
+
+
+class BatchedBackend(Backend):
+    """One compiled plan over N stacked instances (:mod:`repro.engine.batch`).
+
+    The throughput backend of the serving story: N independent
+    instances of the same ``(spec, shape, steps, scheme)`` are stacked
+    into one ``[N, ...]`` ping-pong pair and every plan unit runs once
+    for the whole batch, amortising plan lookup and Python dispatch.
+    Bit-identical per instance to ``backend="compiled"`` — the batch
+    axis only widens the arrays (see ``docs/performance.md``).
+    """
+
+    name = "batched"
+    consumes_plan = True
+
+    def supports(self, spec, config, schedule=None) -> Optional[str]:
+        if spec.is_periodic:
+            return "compiled plans assume non-periodic boundaries"
+        if config.scheme == "overlapped" or (
+                schedule is not None and schedule.private_tasks):
+            return ("ghost-zone (private-task) schedules have no "
+                    "batched lowering; use backend 'compiled'")
+        if config.engine == "naive":
+            return ("the batched backend runs compiled plans only; "
+                    "use engine 'auto' or 'compiled'")
+        from repro.stencils.operators import (
+            GameOfLifeOperator,
+            LinearStencilOperator,
+        )
+
+        op = spec.operator
+        if not (isinstance(op, GameOfLifeOperator)
+                or type(op) is LinearStencilOperator):
+            return (f"operator {type(op).__name__} has no batched "
+                    f"kernel; only linear and Game-of-Life operators "
+                    f"are batchable")
+        return None
+
+    def execute(self, ctx: ExecutionContext) -> BackendOutcome:
+        from repro.engine.batch import _execute_plan_batched, stack_grids
+
+        grids = (list(ctx.batch_grids) if ctx.batch_grids is not None
+                 else [ctx.grid])
+        bgrid = stack_grids(ctx.spec, grids)
+        _execute_plan_batched(bgrid=bgrid, plan=ctx.plan,
+                              arena=ctx.config.options.get("arena"),
+                              budget=ctx.budget)
+        # both parities go back so member grids are checkpointable and
+        # per-instance interiors alias their own buffers, exactly as a
+        # single-instance run would leave them
+        bgrid.scatter(grids)
+        return BackendOutcome(
+            interior=grids[0].interior(ctx.config.steps))
 
 
 class ThreadedBackend(Backend):
@@ -393,9 +451,9 @@ class ElasticBackend(Backend):
 
 
 for _backend in (
-    SerialBackend(), CompiledBackend(), ThreadedBackend(),
-    ResilientBackend(), DistributedBackend(), ElasticBackend(),
-    PointwiseBackend(), BlockedBackend(), MergedBackend(),
-    OverlappedBackend(),
+    SerialBackend(), CompiledBackend(), BatchedBackend(),
+    ThreadedBackend(), ResilientBackend(), DistributedBackend(),
+    ElasticBackend(), PointwiseBackend(), BlockedBackend(),
+    MergedBackend(), OverlappedBackend(),
 ):
     register_backend(_backend)

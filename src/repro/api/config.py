@@ -36,6 +36,8 @@ BACKEND_ALIASES: Dict[str, str] = {
     "engine": "compiled",
     "threadpool": "threaded",
     "threads": "threaded",
+    "batch": "batched",
+    "many": "batched",
     "sim": "distributed",
     "simulated": "distributed",
     "procs": "elastic",
@@ -90,6 +92,10 @@ class RunConfig:
     shape: Optional[Tuple[int, ...]] = None  #: None = kernel default
     steps: int = 32
     seed: int = 0
+    #: independent problem instances to run as one stacked batch
+    #: (``backend="batched"``); instance ``i`` seeds with ``seed + i``
+    #: unless explicit grids are handed to :meth:`Session.run_many`
+    batch: int = 1
 
     # -- schedule construction ---------------------------------------
     scheme: str = "tess"
@@ -156,6 +162,8 @@ class RunConfig:
             raise ValueError(f"ranks must be >= 1, got {cfg.ranks}")
         if cfg.b < 1:
             raise ValueError(f"time-tile depth b must be >= 1, got {cfg.b}")
+        if cfg.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {cfg.batch}")
         if cfg.qos is not None:
             cfg = replace(cfg, qos=cfg.qos.normalized())
         return cfg
@@ -187,6 +195,7 @@ class RunConfig:
             "shape": list(self.shape) if self.shape is not None else None,
             "steps": int(self.steps),
             "seed": int(self.seed),
+            "batch": int(self.batch),
             "scheme": self.scheme,
             "b": int(self.b),
             "core_widths": (list(self.core_widths)

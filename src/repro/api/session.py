@@ -81,10 +81,17 @@ class Session:
         return self.builder.build(self.spec, config.normalized(), shape)
 
     def lower(self, schedule, params: Tuple = (), *,
-              batch_threshold: int = 4096, fuse: bool = True):
-        """Stage 2: RegionSchedule -> CompiledPlan, via the plan cache."""
+              batch_threshold: int = 4096, fuse: bool = True,
+              batched: bool = False):
+        """Stage 2: RegionSchedule -> CompiledPlan, via the plan cache.
+
+        ``batched=True`` marks the lookup as serving a many-instances
+        run (same plan, same key — only the cache's ``batched_hits``
+        amortisation counter moves).
+        """
         return self.cache.get(self.spec, schedule, params=params,
-                              batch_threshold=batch_threshold, fuse=fuse)
+                              batch_threshold=batch_threshold, fuse=fuse,
+                              batched=batched)
 
     # -- the pipeline -------------------------------------------------
 
@@ -93,6 +100,65 @@ class Session:
         """Run the full pipeline from a configuration."""
         config = (config or RunConfig()).with_overrides(overrides)
         return self._pipeline(config.normalized(), grid=grid)
+
+    def run_many(self, config: Optional[RunConfig] = None, *,
+                 grids=None, **overrides):
+        """Run N independent instances as one stacked batch.
+
+        The many-instances front door of the ``batched`` backend: the
+        members either come in as ``grids`` (all sharing one shape) or
+        are created from ``config.batch`` with instance ``i`` seeded
+        ``seed + i``.  One plan lookup, one schedule walk, one kernel
+        dispatch per unit serve the whole batch; returns one
+        :class:`~repro.api.stats.RunResult` per instance, each
+        bit-identical to an independent ``backend="compiled"`` run of
+        that instance.  With ``verify=True`` every member (not just the
+        first) is checked against the naive sweep.
+        """
+        from dataclasses import replace as _replace
+
+        config = (config or RunConfig()).with_overrides(overrides)
+        config = config.normalized()
+        if config.backend not in ("batched", "serial"):
+            raise ValueError(
+                f"run_many runs backend 'batched', got {config.backend!r}"
+            )
+        config = _replace(config, backend="batched")
+        if grids is not None:
+            grids = list(grids)
+            if not grids:
+                raise ValueError("run_many needs at least one grid")
+            config = _replace(config, batch=len(grids),
+                              shape=grids[0].shape)
+        shape = config.shape or self.default_shape()
+        config = _replace(config, shape=tuple(shape))
+        if grids is None:
+            grids = [
+                Grid(self.spec, tuple(shape), init="random",
+                     seed=config.seed + i)
+                for i in range(config.batch)
+            ]
+        snapshots = ([g.copy() for g in grids] if config.verify
+                     else None)
+        # no fallback dispatch here: a degraded hop onto a
+        # single-instance backend could not produce per-member results
+        result = self._pipeline_once(config, grid=grids[0],
+                                     batch_grids=grids)
+        results = []
+        for i, g in enumerate(grids):
+            interior = g.interior(config.steps)
+            verified = result.stats.verified
+            if config.verify and i > 0:
+                verified = self._verify(snapshots[i], interior,
+                                        config.steps)
+            stats = (result.stats if i == 0 else
+                     _replace(result.stats, verified=verified))
+            results.append(RunResult(
+                interior=interior, stats=stats, config=config, grid=g,
+                schedule=result.schedule, lattice=result.lattice,
+                plan=result.plan, sanitizer=result.sanitizer,
+            ))
+        return results
 
     def execute(self, grid: Grid, schedule=None, *,
                 config: Optional[RunConfig] = None, lattice=None,
@@ -129,7 +195,8 @@ class Session:
 
     def _pipeline_once(self, config: RunConfig, *, grid=None,
                        schedule=None, lattice=None, plan=None,
-                       params: Optional[Tuple] = None) -> RunResult:
+                       params: Optional[Tuple] = None,
+                       batch_grids=None) -> RunResult:
         spec = self.spec
         backend = get_backend(config.backend)
         phases: Dict[str, float] = {}
@@ -178,6 +245,15 @@ class Session:
 
         if grid is None:
             grid = Grid(spec, tuple(shape), init="random", seed=config.seed)
+        if (backend.name == "batched" and batch_grids is None
+                and config.batch > 1):
+            # config-driven batch: instance 0 is the caller's grid,
+            # further members seed deterministically with seed + i
+            batch_grids = [grid] + [
+                Grid(spec, tuple(shape), init="random",
+                     seed=config.seed + i)
+                for i in range(1, config.batch)
+            ]
 
         # sanitize ------------------------------------------------------
         sanitizer_report = None
@@ -198,7 +274,8 @@ class Session:
             before = self.cache.stats.as_dict()
             plan = self.lower(schedule,
                               params if params is not None
-                              else config.tile_params())
+                              else config.tile_params(),
+                              batched=backend.name == "batched")
             delta = cache_delta(before, self.cache.stats.as_dict())
             phases["lower"] = time.perf_counter() - t0
         if plan is not None and backend.name in _POOLED_BACKENDS:
@@ -216,7 +293,8 @@ class Session:
         snapshot = grid.copy() if config.verify else None
         ctx = ExecutionContext(spec=spec, grid=grid, config=config,
                                schedule=schedule, lattice=lattice,
-                               plan=plan, trace=trace, budget=budget)
+                               plan=plan, trace=trace, budget=budget,
+                               batch_grids=batch_grids)
         t0 = time.perf_counter()
         outcome = backend.execute(ctx)
         phases["execute"] = time.perf_counter() - t0
@@ -239,7 +317,8 @@ class Session:
     @staticmethod
     def _resolve_engine(config: RunConfig, backend: Backend) -> str:
         if config.engine == "auto":
-            return "compiled" if backend.name == "compiled" else "naive"
+            return ("compiled" if backend.name in ("compiled", "batched")
+                    else "naive")
         return config.engine
 
     def _verify(self, snapshot: Grid, interior: np.ndarray,

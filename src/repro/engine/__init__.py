@@ -15,11 +15,16 @@ per-run geometry work**:
   to the naive operators;
 * :mod:`repro.engine.cache` — an LRU plan cache (with optional on-disk
   tier) so autotune probes, distributed ranks and benchmark repeats
-  compile exactly once.
+  compile exactly once;
+* :mod:`repro.engine.batch` — a batch axis over the same plans: N
+  independent instances stacked into one ``[N, ...]`` ping-pong pair,
+  every unit applied to the whole batch in one NumPy call (the
+  ``batched`` backend's engine).
 
 See ``docs/performance.md`` for architecture and measured speedups.
 """
 
+from repro.engine.batch import BatchGrid, plan_supports_batch, stack_grids
 from repro.engine.kernels import ScratchArena, thread_arena
 from repro.engine.plan import (
     CompiledPlan,
@@ -37,10 +42,13 @@ from repro.engine.cache import (
 )
 
 __all__ = [
+    "BatchGrid",
     "CompiledPlan",
     "PlanStats",
     "compile_plan",
     "execute_plan",
+    "plan_supports_batch",
+    "stack_grids",
     "ScratchArena",
     "thread_arena",
     "CacheStats",

@@ -97,6 +97,11 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: subset of ``hits`` made on behalf of a batched (many-instances)
+    #: run — each one amortises a single compile over a whole batch, so
+    #: ``/metrics`` can show how much lookup/compile work coalescing
+    #: saved
+    batched_hits: int = 0
     disk_hits: int = 0
     disk_stores: int = 0
     #: disk entries whose pickle failed to load (corrupted/truncated);
@@ -108,6 +113,7 @@ class CacheStats:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.batched_hits = 0
         self.disk_hits = 0
         self.disk_stores = 0
         self.disk_corrupt = 0
@@ -118,6 +124,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "batched_hits": self.batched_hits,
             "disk_hits": self.disk_hits,
             "disk_stores": self.disk_stores,
             "disk_corrupt": self.disk_corrupt,
@@ -203,8 +210,14 @@ class PlanCache:
         params: Tuple = (),
         batch_threshold: int = 4096,
         fuse: bool = True,
+        batched: bool = False,
     ) -> CompiledPlan:
-        """Return the compiled plan for ``schedule``, compiling on miss."""
+        """Return the compiled plan for ``schedule``, compiling on miss.
+
+        ``batched=True`` marks the lookup as made on behalf of a
+        many-instances run: the key is unchanged (one compile serves
+        any batch width), only the ``batched_hits`` counter moves.
+        """
         key = plan_key(spec, schedule, params=params,
                        batch_threshold=batch_threshold, fuse=fuse)
         with self._lock:
@@ -212,6 +225,8 @@ class PlanCache:
             if plan is not None:
                 self._entries.move_to_end(key)
                 self.stats.hits += 1
+                if batched:
+                    self.stats.batched_hits += 1
                 return plan
             plan = self._disk_load(key)
             if plan is not None:

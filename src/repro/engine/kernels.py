@@ -39,8 +39,10 @@ __all__ = [
     "thread_arena",
     "linear_slices",
     "linear_batch",
+    "linear_batch_many",
     "life_slices",
     "life_batch",
+    "life_batch_many",
 ]
 
 
@@ -127,6 +129,32 @@ def linear_batch(flat_src, flat_dst, idx, off_flats, coeffs, arena) -> None:
     flat_dst[idx] = acc
 
 
+def linear_batch_many(flat_src, flat_dst, idx, off_flats, coeffs,
+                      arena) -> None:
+    """:func:`linear_batch` across a leading instance axis.
+
+    ``flat_src``/``flat_dst`` are ``[N, P]`` views of N stacked padded
+    buffers; ``idx`` holds the per-instance flat indices (identical for
+    every instance, so one gather with ``axis=1`` serves the whole
+    batch).  Per point the float sequence is exactly the single-instance
+    one — the batch axis only widens the arrays.
+    """
+    n = flat_src.shape[0]
+    m = idx.shape[0]
+    ish = arena.get("bidx", m, np.intp)
+    acc = arena.get("bacc", n * m, flat_src.dtype).reshape(n, m)
+    g = arena.get("bg", n * m, flat_src.dtype).reshape(n, m)
+    np.add(idx, off_flats[0], out=ish)
+    np.take(flat_src, ish, axis=1, out=acc)
+    np.multiply(acc, coeffs[0], out=acc)
+    for off, c in zip(off_flats[1:], coeffs[1:]):
+        np.add(idx, off, out=ish)
+        np.take(flat_src, ish, axis=1, out=g)
+        np.multiply(g, c, out=g)
+        np.add(acc, g, out=acc)
+    flat_dst[:, idx] = acc
+
+
 # ---------------------------------------------------------------------------
 # Game-of-Life kernels
 # ---------------------------------------------------------------------------
@@ -181,3 +209,35 @@ def life_batch(flat_src, flat_dst, idx, off_flats, centre_off, arena) -> None:
     out = arena.get("obuf", m, np.uint8)
     np.copyto(out, born, casting="unsafe")
     flat_dst[idx] = out
+
+
+def life_batch_many(flat_src, flat_dst, idx, off_flats, centre_off,
+                    arena) -> None:
+    """:func:`life_batch` across a leading instance axis (exact
+    integer/boolean work, so the widened buffers cannot change results).
+    """
+    nn = flat_src.shape[0]
+    m = idx.shape[0]
+    ish = arena.get("bidx", m, np.intp)
+    n = arena.get("nbuf", nn * m, np.uint8).reshape(nn, m)
+    g = arena.get("gbuf", nn * m, np.uint8).reshape(nn, m)
+    np.add(idx, off_flats[0], out=ish)
+    np.take(flat_src, ish, axis=1, out=n)
+    for off in off_flats[1:]:
+        np.add(idx, off, out=ish)
+        np.take(flat_src, ish, axis=1, out=g)
+        np.add(n, g, out=n)
+    centre = arena.get("cbuf", nn * m, np.uint8).reshape(nn, m)
+    np.add(idx, centre_off, out=ish)
+    np.take(flat_src, ish, axis=1, out=centre)
+    born = arena.get("b1", nn * m, np.bool_).reshape(nn, m)
+    two = arena.get("b2", nn * m, np.bool_).reshape(nn, m)
+    alive = arena.get("b3", nn * m, np.bool_).reshape(nn, m)
+    np.equal(n, 3, out=born)
+    np.equal(n, 2, out=two)
+    np.equal(centre, 1, out=alive)
+    np.logical_and(alive, two, out=two)
+    np.logical_or(born, two, out=born)
+    out = arena.get("obuf", nn * m, np.uint8).reshape(nn, m)
+    np.copyto(out, born, casting="unsafe")
+    flat_dst[:, idx] = out

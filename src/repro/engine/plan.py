@@ -48,8 +48,10 @@ import numpy as np
 from repro.engine.kernels import (
     ScratchArena,
     life_batch,
+    life_batch_many,
     life_slices,
     linear_batch,
+    linear_batch_many,
     linear_slices,
     thread_arena,
 )
@@ -136,6 +138,9 @@ def _fuse_rectangles(regions: List[Region]) -> List[Region]:
 # execution units
 # ---------------------------------------------------------------------------
 
+_ALL = (slice(None),)
+
+
 class _LinearSliceOp:
     """One (possibly fused) rectangle of a linear stencil."""
 
@@ -156,6 +161,13 @@ class _LinearSliceOp:
     def run(self, bufs, flats, spec, arena):
         linear_slices(bufs[self.sp], bufs[self.dp], self.out_sl,
                       self.in_sls, self.coeffs, arena)
+
+    def run_batched(self, bufs, flats, spec, arena):
+        # the same slice kernel over [N, ...] buffers: a leading
+        # slice(None) applies the rectangle to every instance at once
+        linear_slices(bufs[self.sp], bufs[self.dp], _ALL + self.out_sl,
+                      tuple(_ALL + sl for sl in self.in_sls),
+                      self.coeffs, arena)
 
 
 class _LifeSliceOp:
@@ -178,6 +190,11 @@ class _LifeSliceOp:
     def run(self, bufs, flats, spec, arena):
         life_slices(bufs[self.sp], bufs[self.dp], self.out_sl,
                     self.in_sls, self.centre_sl, arena)
+
+    def run_batched(self, bufs, flats, spec, arena):
+        life_slices(bufs[self.sp], bufs[self.dp], _ALL + self.out_sl,
+                    tuple(_ALL + sl for sl in self.in_sls),
+                    _ALL + self.centre_sl, arena)
 
 
 class _GenericSliceOp:
@@ -220,6 +237,10 @@ class _LinearBatch:
         linear_batch(flats[self.sp], flats[self.dp], self.idx,
                      self.off_flats, self.coeffs, arena)
 
+    def run_batched(self, bufs, flats, spec, arena):
+        linear_batch_many(flats[self.sp], flats[self.dp], self.idx,
+                          self.off_flats, self.coeffs, arena)
+
 
 class _LifeBatch:
     __slots__ = ("sp", "dp", "t", "regions", "idx", "off_flats", "centre_off")
@@ -239,6 +260,10 @@ class _LifeBatch:
     def run(self, bufs, flats, spec, arena):
         life_batch(flats[self.sp], flats[self.dp], self.idx,
                    self.off_flats, self.centre_off, arena)
+
+    def run_batched(self, bufs, flats, spec, arena):
+        life_batch_many(flats[self.sp], flats[self.dp], self.idx,
+                        self.off_flats, self.centre_off, arena)
 
 
 class _PrivateTask:

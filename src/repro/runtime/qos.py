@@ -224,6 +224,10 @@ _EXTRA_PAIRS = {
     "resilient": lambda config: 1,
     "distributed": lambda config: max(1, config.ranks),
     "elastic": lambda config: 1 + max(1, config.ranks),
+    # a batched run holds N member pairs plus the one stacked [N, ...]
+    # pair they are copied into: 2N pairs total, of which the grid's
+    # own pair is already counted
+    "batched": lambda config: 2 * max(1, getattr(config, "batch", 1)) - 1,
 }
 
 

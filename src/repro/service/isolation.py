@@ -71,6 +71,7 @@ __all__ = [
     "grid_from_buffer",
     "merge_stats",
     "prepare_run_config",
+    "run_batch_segments",
     "run_job_segments",
     "worker_child_main",
 ]
@@ -353,6 +354,93 @@ def run_job_segments(
     stats = merge_stats(segments, total_steps=total,
                         resume_step=resume_step, job_id=job_id)
     return np.ascontiguousarray(result.interior), stats, resume_step
+
+
+def run_batch_segments(
+    session,
+    cfg,
+    grids,
+    *,
+    job_ids,
+    checkpoint_steps: int,
+    on_checkpoint: Optional[Callable[[int, int, np.ndarray], bool]] = None,
+    on_segment: Optional[Callable[[], None]] = None,
+    should_preempt: Optional[Callable[[], bool]] = None,
+):
+    """Drive N coalesced jobs through ``Session.run_many`` in segments.
+
+    The batched sibling of :func:`run_job_segments`: every segment runs
+    all members as one stacked ``[N, ...]`` batch, but every durability
+    action stays **per member**.  After each non-final segment each
+    member's sealed padded buffer goes to
+    ``on_checkpoint(index, step, buffer)`` individually; a callback
+    returning ``False`` *drops* that member from the rest of the batch
+    (its lease was fenced away, or its caller cancelled it) and the
+    survivors continue.  ``should_preempt`` is consulted once per
+    boundary, *after* every member's checkpoint sealed, so a
+    :class:`JobPreempted` leaves each member individually resumable —
+    a SIGKILL mid-batch loses at most one segment per member, exactly
+    like a solo run.
+
+    ``cfg`` must be normalized with its shape resolved; its ``backend``
+    is forced to ``batched`` per segment.  Member identity (seed) lives
+    in ``grids``, which the caller built one per member.
+
+    Returns ``{original index: (interior, merged RunStats)}`` for the
+    members that ran to completion.  Segmenting is bit-identical to an
+    unsegmented run — the batched backend scatters both parities back
+    into the member grids, so a sealed buffer is the authoritative
+    state at its step.
+    """
+    spec = session.spec
+    shape = tuple(cfg.shape)
+    total = int(cfg.steps)
+    step_quota = max(0, int(checkpoint_steps))
+    grids = list(grids)
+    if len(job_ids) != len(grids):
+        raise ValueError("job_ids and grids must pair up")
+    live = list(range(len(grids)))
+    segments: Dict[int, list] = {i: [] for i in live}
+    final: Dict[int, Any] = {}
+    k = 0
+    while True:
+        n = (total - k) if step_quota <= 0 else min(step_quota, total - k)
+        batch_cfg = replace(cfg, steps=n, backend="batched",
+                            batch=len(live))
+        results = session.run_many(batch_cfg,
+                                   grids=[grids[i] for i in live])
+        for i, res in zip(live, results):
+            segments[i].append(res.stats)
+            final[i] = res
+        if on_segment is not None:
+            on_segment()
+        k += n
+        if k >= total:
+            break
+        survivors = []
+        for i in live:
+            buffer = np.ascontiguousarray(grids[i].at(n))
+            keep = True
+            if on_checkpoint is not None:
+                keep = on_checkpoint(i, k, buffer) is not False
+            if keep:
+                # fresh parity: local time 0 of the next segment is
+                # global time k
+                grids[i] = grid_from_buffer(spec, shape, buffer)
+                survivors.append(i)
+            else:
+                final.pop(i, None)
+        live = survivors
+        if should_preempt is not None and should_preempt():
+            raise JobPreempted(k)
+        if not live:
+            return {}
+    out = {}
+    for i in live:
+        stats = merge_stats(segments[i], total_steps=total,
+                            resume_step=-1, job_id=job_ids[i])
+        out[i] = (np.ascontiguousarray(final[i].interior), stats)
+    return out
 
 
 # -- resource containment ---------------------------------------------

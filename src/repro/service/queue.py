@@ -119,6 +119,54 @@ class JobQueue:
             self._pending_bytes -= int(job.estimated_bytes)
             return job
 
+    def claim_compatible(self, match, limit: int,
+                         batch_bytes=None) -> List[Job]:
+        """Pop up to ``limit`` more queued jobs ``match`` accepts — the
+        supervisor's coalescing claim (non-blocking).
+
+        The heap is scanned in pop order (priority-first, FIFO within a
+        level); matching jobs are claimed, the rest keep their original
+        sequence numbers so their ordering survives the round trip.
+
+        ``batch_bytes(n)``, when given, must return the estimated peak
+        footprint of the whole coalesced run with ``n`` members
+        *including the already-leased leader*, charged as the ONE
+        stacked ``[N, ...]`` allocation it really is.  Claiming stops
+        before that estimate would exceed ``max_pending_bytes`` —
+        summing the members' individual single-instance estimates would
+        under-count the stacked pair and over-admit.
+        """
+        claimed: List[Job] = []
+        if limit <= 0:
+            return claimed
+        with self._cond:
+            if not self._heap:
+                return claimed
+            kept: List[Tuple[int, int, Job]] = []
+            for entry in sorted(self._heap):
+                _, _, job = entry
+                if len(claimed) < limit and match(job):
+                    if (batch_bytes is not None
+                            and self.max_pending_bytes is not None
+                            and (batch_bytes(len(claimed) + 2)
+                                 > self.max_pending_bytes)):
+                        # the batch is full by footprint; a later match
+                        # cannot fit either (the estimate only grows)
+                        limit = len(claimed)
+                        kept.append(entry)
+                        continue
+                    claimed.append(job)
+                else:
+                    kept.append(entry)
+            if claimed:
+                heapq.heapify(kept)
+                self._heap = kept
+                for job in claimed:
+                    self._ids.discard(job.job_id)
+                self._pending_bytes = sum(int(j.estimated_bytes)
+                                          for _, _, j in self._heap)
+            return claimed
+
     def remove(self, job_id: str) -> bool:
         """Drop a waiting job (cancellation); False if not queued."""
         with self._cond:

@@ -103,6 +103,7 @@ from repro.service.isolation import (
     grid_from_buffer as _grid_from_buffer,  # noqa: F401 - compat re-export
     merge_stats as _merge_stats,  # noqa: F401 - compat re-export
     prepare_run_config,
+    run_batch_segments,
     run_job_segments,
     worker_child_main,
 )
@@ -117,13 +118,42 @@ from repro.service.jobstore import (
 )
 from repro.service.queue import JobQueue
 
-__all__ = ["Supervisor", "SupervisorConfig"]
+__all__ = ["Supervisor", "SupervisorConfig", "coalesce_key"]
 
 #: pre-isolation spelling, kept for callers of the old private name
 _CHECKPOINTABLE = CHECKPOINTABLE
 
 #: isolation modes a supervisor accepts
 ISOLATION_MODES = ("thread", "process")
+
+#: backends whose jobs may be coalesced into one stacked batched run:
+#: checkpointable, plan-consuming, and proven bit-identical to the
+#: batched lowering by the parity matrix.  A job already carrying a
+#: checkpoint resumes solo (members of a batch must share step 0).
+COALESCE_BACKENDS = frozenset(("serial", "compiled"))
+
+
+def coalesce_key(kernel: str, config: Dict[str, Any]) -> Optional[str]:
+    """Coalescing group key: jobs differing *only by seed* may run as
+    members of one stacked batch.
+
+    The key is the kernel plus the canonical JSON of the normalized
+    config with the seed removed — the same canonicalisation as the
+    idempotency key, one knob looser.  ``None`` means the config does
+    not normalize (the job will fail on its own; never coalesce it).
+    """
+    import json
+
+    from repro.api.config import RunConfig
+
+    try:
+        cfg = RunConfig.from_json(config).normalized()
+    except Exception:
+        return None
+    data = cfg.to_json()
+    data.pop("seed", None)
+    canon = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"{kernel}|{canon}"
 
 
 def _default_isolation() -> str:
@@ -178,12 +208,19 @@ class SupervisorConfig:
     #: extra grace after asking in-flight jobs to preempt at their next
     #: checkpoint boundary
     drain_grace_s: float = 5.0
+    #: queued jobs one worker may coalesce into a single stacked
+    #: batched run (thread isolation only; 1 disables coalescing).
+    #: Members must share everything but the seed (:func:`coalesce_key`)
+    max_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.isolation not in ISOLATION_MODES:
             raise ValueError(
                 f"isolation must be one of {ISOLATION_MODES}, "
                 f"got {self.isolation!r}")
+        if self.max_batch < 1:
+            raise ValueError(
+                f"max_batch must be >= 1, got {self.max_batch}")
 
 
 @dataclass
@@ -201,6 +238,10 @@ class _Metrics:
     poisoned: int = 0
     preempted: int = 0
     stale_rejected: int = 0
+    #: coalesced batch executions (each ran >= 2 jobs as one stack)
+    batches_run: int = 0
+    #: jobs that executed as members of a coalesced batch
+    coalesced_jobs: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dict(vars(self))
@@ -573,7 +614,13 @@ class Supervisor:
                     self._run_job_process(current, owner, wid, token,
                                           epoch)
                 else:
-                    self._run_job(current, owner, wid, token, epoch)
+                    members = self._claim_members(current, owner)
+                    if members:
+                        self._run_job_batch(
+                            [(current, token, epoch)] + members,
+                            owner, wid)
+                    else:
+                        self._run_job(current, owner, wid, token, epoch)
             except JobPreempted as exc:
                 self._requeue_preempted(job.job_id, exc.step)
             except StaleLeaseError:
@@ -649,6 +696,190 @@ class Supervisor:
         self.store.record_result(job.job_id, interior, stats.to_json(),
                                  epoch=epoch)
         self.metrics.completed += 1
+
+    # -- coalesced (batched) execution --------------------------------
+
+    def _claim_members(self, leader: Job, owner: str) -> List[Tuple]:
+        """Claim up to ``max_batch - 1`` queued jobs that may run as
+        one stacked batch with the already-leased ``leader``.
+
+        Members must share the leader's coalescing group (everything
+        but the seed), carry no checkpoint, and their backend/scheme
+        must have a batched lowering.  Each claimed member is leased
+        and admitted exactly like a solo job — crash-resume and lease
+        fencing stay per member.  A member that cannot be leased or
+        admitted goes straight back on the queue.
+        """
+        limit = self.config.max_batch - 1
+        if limit <= 0 or self.config.isolation == "process":
+            return []
+        if leader.checkpoints:
+            return []  # a resume runs solo; members must share step 0
+        from dataclasses import replace as _replace
+
+        from repro.api.backends import get_backend
+        from repro.runtime.qos import CancelToken, estimate_peak_bytes
+
+        session = self._session(leader.kernel)
+        try:
+            cfg = prepare_run_config(session, leader.config, None)
+        except Exception:
+            return []
+        if cfg.backend not in COALESCE_BACKENDS or cfg.batch != 1:
+            return []
+        batched_cfg = _replace(cfg, backend="batched")
+        if get_backend("batched").supports(session.spec,
+                                           batched_cfg) is not None:
+            return []
+        key = coalesce_key(leader.kernel, leader.config)
+        if key is None:
+            return []
+
+        def batch_bytes(n: int) -> int:
+            # the PR-9 footprint fix: a coalesced batch is ONE
+            # [N, ...] stacked allocation (2N ping-pong pairs), not N
+            # independent single-instance estimates
+            return estimate_peak_bytes(
+                session.spec, cfg.shape, _replace(batched_cfg, batch=n))
+
+        def match(job: Job) -> bool:
+            return (job.kernel == leader.kernel
+                    and not job.checkpoints
+                    and coalesce_key(job.kernel, job.config) == key)
+
+        members: List[Tuple] = []
+        for job in self.queue.claim_compatible(match, limit,
+                                               batch_bytes=batch_bytes):
+            try:
+                current = self.store.get(job.job_id)
+            except JobNotFound:  # pragma: no cover - defensive
+                continue
+            if current.state != QUEUED or current.checkpoints:
+                continue  # cancelled or resumed while waiting
+            epoch = self.store.acquire_lease(job.job_id, owner,
+                                             self.config.lease_ttl_s)
+            if not epoch:
+                self._requeue(current)
+                continue
+            token = CancelToken()
+            with self._tokens_lock:
+                self._tokens[job.job_id] = token
+                self._epochs[job.job_id] = epoch
+            try:
+                self.store.transition(job.job_id, ADMITTED,
+                                      detail=f"coalesced by {owner}")
+            except ValueError:
+                with self._tokens_lock:
+                    self._tokens.pop(job.job_id, None)
+                    self._epochs.pop(job.job_id, None)
+                self.store.release_lease(job.job_id, epoch=epoch)
+                continue
+            members.append((current, token, epoch))
+        return members
+
+    def _run_job_batch(self, entries: List[Tuple], owner: str,
+                       wid: int) -> None:
+        """Run coalesced members as one stacked batched segment run.
+
+        One ``[N, ...]`` execution, N independent durability stories:
+        every member keeps its own lease epoch, journaled transitions,
+        checkpoint seals and result commit, so a crash, preemption or
+        per-member cancellation behaves exactly as it would for N solo
+        runs — only the compute is shared.
+        """
+        from repro.stencils.grid import Grid
+
+        from repro.api.config import RunConfig
+
+        jobs = [e[0] for e in entries]
+        n = len(entries)
+        session = self._session(jobs[0].kernel)
+        spec = session.spec
+        cfg = prepare_run_config(session, jobs[0].config, None)
+        shape = tuple(cfg.shape)
+        dropped: Dict[int, str] = {}
+        self._set_info(wid, job_id=jobs[0].job_id)
+        grids = []
+        for job in jobs:
+            seed = int(RunConfig.from_json(job.config).normalized().seed)
+            grids.append(Grid(spec, shape, init="random", seed=seed))
+
+        def on_checkpoint(i: int, step: int, buffer) -> bool:
+            job, token, epoch = entries[i]
+            if token.cancelled:
+                dropped[i] = "cancelled"
+                self.metrics.cancelled += 1
+                try:
+                    self.store.transition(
+                        job.job_id, CANCELLED,
+                        detail=f"cancelled at batch boundary {step}")
+                except (ValueError, JobNotFound):  # pragma: no cover
+                    pass
+                return False
+            try:
+                self.store.save_checkpoint(job.job_id, step, buffer,
+                                           epoch=epoch)
+                self.store.renew_lease(job.job_id, owner,
+                                       self.config.lease_ttl_s,
+                                       epoch=epoch)
+            except StaleLeaseError:
+                # the lease moved on mid-batch; the new holder owns
+                # this member's story — drop it, keep the others
+                dropped[i] = "stale"
+                self.metrics.stale_rejected += 1
+                return False
+            return True
+
+        def on_segment() -> None:
+            self.metrics.segments_run += 1
+            self._touch_info(wid)
+
+        try:
+            try:
+                for job in jobs:
+                    self.store.transition(
+                        job.job_id, RUNNING, attempts=job.attempts + 1,
+                        detail=f"started (batch of {n}, worker {wid})")
+                results = run_batch_segments(
+                    session, cfg, grids,
+                    job_ids=[j.job_id for j in jobs],
+                    checkpoint_steps=self.config.checkpoint_steps,
+                    on_checkpoint=on_checkpoint, on_segment=on_segment,
+                    should_preempt=self._should_preempt)
+            except JobPreempted as exc:
+                for i, job in enumerate(jobs):
+                    if i not in dropped:
+                        self._requeue_preempted(job.job_id, exc.step)
+                return
+            except Exception as exc:
+                # one failure, N verdicts: each member retries (or
+                # fails) under its own budget and backoff
+                for i, (job, _, epoch) in enumerate(entries):
+                    if i not in dropped:
+                        self._handle_failure(job, exc, epoch=epoch)
+                return
+            for i in sorted(results):
+                interior, stats = results[i]
+                job, _, epoch = entries[i]
+                try:
+                    self.store.record_result(job.job_id, interior,
+                                             stats.to_json(),
+                                             epoch=epoch)
+                    self.metrics.completed += 1
+                except StaleLeaseError:
+                    self.metrics.stale_rejected += 1
+            self.metrics.batches_run += 1
+            self.metrics.coalesced_jobs += n
+        finally:
+            for i, (job, _, epoch) in enumerate(entries):
+                if i == 0:
+                    continue  # the worker loop cleans up the leader
+                with self._tokens_lock:
+                    self._tokens.pop(job.job_id, None)
+                    self._epochs.pop(job.job_id, None)
+                self.store.release_lease(job.job_id, epoch=epoch)
+            with self._done_cond:
+                self._done_cond.notify_all()
 
     # -- process-mode execution ---------------------------------------
 

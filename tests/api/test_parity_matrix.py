@@ -39,6 +39,7 @@ STEPS_CASES = (0, 6)
 SUPPORTED = {
     "serial": set(SCHEMES) - {"overlapped"},
     "compiled": set(SCHEMES),
+    "batched": set(SCHEMES) - {"overlapped"},
     "threaded": set(SCHEMES) - {"overlapped"},
     "resilient": set(SCHEMES) - {"overlapped"},
     "distributed": {"tess"},
@@ -52,6 +53,7 @@ SUPPORTED = {
 _EXTRA_MARKS = {
     "elastic": (pytest.mark.dist,),  # spawns real rank processes
     "compiled": (pytest.mark.engine,),
+    "batched": (pytest.mark.engine,),
 }
 
 BACKEND_PARAMS = [

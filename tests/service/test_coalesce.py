@@ -1,0 +1,336 @@
+"""Service-queue coalescing: N seed-siblings, one stacked batched run.
+
+A worker leasing a job may claim up to ``max_batch`` queued jobs that
+differ *only by seed* and run them as one ``[N, ...]`` batch — one
+compiled plan, one schedule walk, one kernel dispatch per unit.  The
+durability story must stay per member: individual journaled
+transitions, checkpoint seals, result commits and lease epochs, so a
+SIGKILL mid-batch loses at most one segment per member and every
+member resumes individually, bit-identical.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro import get_stencil
+from repro.api import RunConfig, Session
+from repro.service import (
+    CANCELLED,
+    DONE,
+    QUEUED,
+    Job,
+    JobQueue,
+    JobStore,
+    Supervisor,
+    SupervisorConfig,
+)
+from repro.service.supervisor import coalesce_key
+
+pytestmark = pytest.mark.service
+
+KERNEL = "heat1d"
+BASE = {"shape": [64], "steps": 12, "scheme": "tess", "b": 4,
+        "backend": "serial"}
+SEEDS = (0, 7, 42, 100)
+
+
+def _store(tmp_path):
+    return JobStore(str(tmp_path / "store"), fsync=False)
+
+
+def _submit_siblings(sup, cfg=None, seeds=SEEDS):
+    ids = []
+    for seed in seeds:
+        job, created = sup.submit(KERNEL, dict(cfg or BASE, seed=seed))
+        assert created
+        ids.append(job.job_id)
+    return ids
+
+
+def _solo(seed, cfg=None):
+    session = Session(get_stencil(KERNEL))
+    return session.run(
+        RunConfig.from_json(dict(cfg or BASE, seed=seed))).interior
+
+
+# -- the happy path ---------------------------------------------------
+
+def test_coalesced_batch_bit_identical(tmp_path):
+    with _store(tmp_path) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=1, max_batch=4, checkpoint_steps=4,
+            isolation="thread"))
+        # submit before start(): all four are queued when the single
+        # worker takes its first lease, so the claim is deterministic
+        ids = _submit_siblings(sup)
+        sup.start()
+        try:
+            for jid in ids:
+                assert sup.wait(jid, timeout=60).state == DONE
+        finally:
+            sup.stop()
+        assert sup.metrics.batches_run == 1
+        assert sup.metrics.coalesced_jobs == 4
+        assert sup.metrics.completed == 4
+        # the coalescing counters ride the /metrics payload
+        snap = sup.snapshot_metrics()["supervisor"]
+        assert snap["batches_run"] == 1
+        assert snap["coalesced_jobs"] == 4
+        for jid, seed in zip(ids, SEEDS):
+            interior, _ = store.load_result(jid)
+            ref = _solo(seed)
+            assert np.array_equal(interior, ref)
+            assert interior.tobytes() == ref.tobytes()
+
+
+def test_coalescing_disabled_by_default(tmp_path):
+    with _store(tmp_path) as store:
+        sup = Supervisor(store, SupervisorConfig(workers=1))
+        ids = _submit_siblings(sup)
+        sup.start()
+        try:
+            for jid in ids:
+                assert sup.wait(jid, timeout=60).state == DONE
+        finally:
+            sup.stop()
+        assert sup.metrics.batches_run == 0
+        assert sup.metrics.coalesced_jobs == 0
+
+
+def test_only_seed_siblings_coalesce(tmp_path):
+    """Jobs differing in anything but the seed form separate groups."""
+    with _store(tmp_path) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=1, max_batch=8, isolation="thread"))
+        ids = _submit_siblings(sup, seeds=(0, 1))
+        other, created = sup.submit(KERNEL, dict(BASE, seed=0, steps=20))
+        assert created
+        sup.start()
+        try:
+            for jid in ids + [other.job_id]:
+                assert sup.wait(jid, timeout=60).state == DONE
+        finally:
+            sup.stop()
+        assert sup.metrics.coalesced_jobs == 2  # the 20-step job ran solo
+        interior, _ = store.load_result(other.job_id)
+        assert np.array_equal(interior, _solo(0, dict(BASE, steps=20)))
+
+
+def test_coalesce_key_ignores_seed_only():
+    a = coalesce_key(KERNEL, dict(BASE, seed=1))
+    b = coalesce_key(KERNEL, dict(BASE, seed=99))
+    c = coalesce_key(KERNEL, dict(BASE, seed=1, steps=13))
+    assert a == b
+    assert a != c
+    # alias spellings canonicalise into the same group
+    d = coalesce_key(KERNEL, dict(BASE, seed=5, backend="seq"))
+    assert a == d
+
+
+# -- per-member durability --------------------------------------------
+
+def test_stop_mid_batch_requeues_every_member(tmp_path):
+    cfg = dict(BASE, shape=[2000], steps=200, backend="compiled")
+    with _store(tmp_path) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=1, max_batch=4, checkpoint_steps=2,
+            isolation="thread"))
+        ids = _submit_siblings(sup, cfg=cfg)
+        sup.start()
+        # wait for the batch to make restorable progress, then stop
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            if all(store.get(j).checkpoints for j in ids):
+                break
+            time.sleep(0.005)
+        else:
+            pytest.fail("no checkpoints appeared")
+        sup.stop()
+        assert sup.metrics.preempted == 4
+        for jid in ids:
+            job = store.get(jid)
+            assert job.state == QUEUED
+            assert job.checkpoints
+
+    # a fresh supervisor resumes each member individually (members
+    # with checkpoints never coalesce again), bit-identical
+    with JobStore(str(tmp_path / "store"), fsync=False) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=2, max_batch=4, checkpoint_steps=50,
+            isolation="thread"))
+        sup.start()
+        try:
+            for jid in ids:
+                assert sup.wait(jid, timeout=120).state == DONE
+        finally:
+            sup.stop()
+        assert sup.metrics.batches_run == 0  # resumes ran solo
+        assert sup.metrics.resumes == 4
+        for jid, seed in zip(ids, SEEDS):
+            interior, stats = store.load_result(jid)
+            ref = _solo(seed, cfg)
+            assert interior.tobytes() == ref.tobytes()
+            resumes = [e for e in stats["events"]
+                       if e.get("kind") == "resume"]
+            assert len(resumes) == 1
+
+
+def test_cancel_member_at_batch_boundary(tmp_path):
+    cfg = dict(BASE, shape=[2000], steps=200, backend="compiled")
+    with _store(tmp_path) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=1, max_batch=4, checkpoint_steps=1,
+            isolation="thread"))
+        ids = _submit_siblings(sup, cfg=cfg)
+        victim = ids[2]
+        sup.start()
+        try:
+            deadline = time.monotonic() + 60
+            while (store.get(victim).state != "running"
+                   and time.monotonic() < deadline):
+                time.sleep(0.002)
+            sup.cancel(victim)
+            for jid in ids:
+                job = sup.wait(jid, timeout=120)
+                assert job.terminal
+        finally:
+            sup.stop()
+        assert store.get(victim).state == CANCELLED
+        for jid, seed in zip(ids, SEEDS):
+            if jid == victim:
+                continue
+            assert store.get(jid).state == DONE
+            interior, _ = store.load_result(jid)
+            assert interior.tobytes() == _solo(seed, cfg).tobytes()
+
+
+# -- footprint accounting (the PR-9 admission fix) --------------------
+
+def _q_job(i, estimated=100):
+    return Job(job_id=f"job-{i}", kernel="heat1d", config={"seed": i},
+               idempotency_key=f"k{i}", estimated_bytes=estimated)
+
+
+def test_claim_compatible_matches_and_preserves_order():
+    q = JobQueue(maxsize=8)
+    for i in range(5):
+        q.put(_q_job(i))
+    claimed = q.claim_compatible(
+        lambda j: int(j.config["seed"]) % 2 == 1, limit=8)
+    assert [j.job_id for j in claimed] == ["job-1", "job-3"]
+    assert [q.get(timeout=0.1).job_id for _ in range(3)] == [
+        "job-0", "job-2", "job-4"]
+    assert q.pending_bytes == 0
+
+
+def test_claim_compatible_charges_one_stacked_allocation():
+    """The batch is ONE [N, ...] allocation: claiming stops when that
+    stacked estimate would blow the footprint ceiling, even though the
+    members' individual estimates would have fit."""
+    q = JobQueue(maxsize=16, max_pending_bytes=1000)
+    for i in range(6):
+        q.put(_q_job(i, estimated=100))
+    # batch of n members costs 300*n as one stacked allocation: the
+    # ceiling admits n=3, refuses n=4 — individual estimates (100 each)
+    # would wrongly have admitted all six
+    claimed = q.claim_compatible(lambda j: True, limit=8,
+                                 batch_bytes=lambda n: 300 * n)
+    assert len(claimed) == 2  # leader + 2 = 3 members at 900 <= 1000
+    assert len(q) == 4
+    assert q.pending_bytes == 400
+
+
+def test_claim_compatible_without_ceiling_claims_up_to_limit():
+    q = JobQueue(maxsize=16)
+    for i in range(6):
+        q.put(_q_job(i))
+    claimed = q.claim_compatible(lambda j: True, limit=3,
+                                 batch_bytes=lambda n: 10**9)
+    assert len(claimed) == 3
+
+
+# -- SIGKILL mid-batch ------------------------------------------------
+
+_CHILD = """\
+import sys
+from repro.service import JobStore, Supervisor, SupervisorConfig
+
+root = sys.argv[1]
+store = JobStore(root)  # fsync'd: the durable discipline under test
+sup = Supervisor(store, SupervisorConfig(
+    workers=1, max_batch=4, checkpoint_steps=2, isolation="thread"))
+ids = []
+for seed in {seeds!r}:
+    job, _ = sup.submit({kernel!r}, dict({cfg!r}, seed=seed))
+    ids.append(job.job_id)
+sup.start()
+print(" ".join(ids), flush=True)
+for jid in ids:
+    sup.wait(jid, timeout=600)
+""".format(seeds=SEEDS, kernel=KERNEL,
+           cfg=dict(BASE, shape=[2000], steps=200, backend="compiled"))
+
+
+def test_sigkill_mid_batch_members_resume_bit_identical(tmp_path):
+    root = str(tmp_path / "store")
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    proc = subprocess.Popen(
+        [sys.executable, "-c", _CHILD, root],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        text=True)
+    try:
+        ids = proc.stdout.readline().split()
+        assert len(ids) == 4, proc.stderr.read()
+        # wait until every member has a sealed checkpoint: the kill
+        # then provably lands mid-batch, after restorable progress
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            dirs = [os.path.join(root, "checkpoints", j) for j in ids]
+            if all(os.path.isdir(d) and any(n.endswith(".npy")
+                                            for n in os.listdir(d))
+                   for d in dirs):
+                break
+            if proc.poll() is not None:
+                pytest.fail(f"child exited early: {proc.stderr.read()}")
+            time.sleep(0.002)
+        else:
+            pytest.fail("not every member sealed a checkpoint in time")
+        time.sleep(0.1)  # let a few more boundaries seal
+        proc.kill()
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+        proc.stderr.close()
+
+    with JobStore(root) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=2, max_batch=4, checkpoint_steps=50,
+            isolation="thread"))
+        report = sup.start()
+        assert report.requeued == 4
+        try:
+            for jid in ids:
+                assert sup.wait(jid, timeout=300).state == DONE
+        finally:
+            sup.stop()
+        # every member resumed from its own sealed checkpoint...
+        assert sup.metrics.resumes == 4
+        cfg = dict(BASE, shape=[2000], steps=200, backend="compiled")
+        for jid, seed in zip(ids, SEEDS):
+            job = store.get(jid)
+            assert job.resumed_from_step > 0
+            interior, _ = store.load_result(jid)
+            # ...bit-identical to a run that was never interrupted
+            ref = _solo(seed, cfg)
+            assert interior.tobytes() == ref.tobytes()

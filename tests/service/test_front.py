@@ -1,6 +1,7 @@
 """HTTP front: routes, typed error taxonomy, client helpers."""
 
 import json
+import time
 import urllib.request
 
 import numpy as np
@@ -109,12 +110,19 @@ def test_metrics_healthz_and_listing(served):
     assert "recovery" in m
     assert m["state"] == "serving"
     assert [w["worker"] for w in m["workers"]] == [0]
-    with urllib.request.urlopen(f"{url}/healthz", timeout=10) as r:
-        health = json.loads(r.read())
+    # the worker clears its assignment just *after* the result is
+    # journaled, so allow that last handoff a moment to land
+    deadline = time.monotonic() + 10
+    while True:
+        with urllib.request.urlopen(f"{url}/healthz", timeout=10) as r:
+            health = json.loads(r.read())
+        (w,) = health["workers"]
+        if w["job_id"] is None or time.monotonic() > deadline:
+            break
+        time.sleep(0.02)
     assert health["ok"] and health["state"] == "serving"
     assert health["isolation"] == sup.config.isolation
     assert health["queue"]["capacity"] == 64
-    (w,) = health["workers"]
     assert w["worker"] == 0 and w["job_id"] is None
     assert w["heartbeat_age_s"] is not None
     with urllib.request.urlopen(f"{url}/jobs", timeout=10) as r:
