@@ -20,10 +20,15 @@ Public API surface:
 
 from repro.stencils import (
     Grid,
+    LinearStage,
+    StagedSpec,
     StencilSpec,
     get_stencil,
+    get_system,
     make_grid,
+    make_staged,
     reference_sweep,
+    system_names,
 )
 from repro.core import (
     AxisProfile,
@@ -41,14 +46,19 @@ from repro.api import (
     run,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "Grid",
+    "LinearStage",
+    "StagedSpec",
     "StencilSpec",
     "get_stencil",
+    "get_system",
     "make_grid",
+    "make_staged",
     "reference_sweep",
+    "system_names",
     "AxisProfile",
     "TessLattice",
     "make_lattice",

@@ -104,6 +104,10 @@ class Backend:
             return ("periodic boundaries are only supported by "
                     "'baseline:pointwise'; every other backend assumes "
                     "Dirichlet halos")
+        if getattr(spec, "is_staged", False) and self.kind == "lattice":
+            return ("lattice executors walk single-field buffers; staged "
+                    "systems run on the schedule backends (serial, "
+                    "compiled, batched, threaded, resilient)")
         if self.schemes is not None and config.scheme not in self.schemes:
             return (f"scheme {config.scheme!r} not supported "
                     f"(supports: {sorted(self.schemes)})")
@@ -194,6 +198,11 @@ class CompiledBackend(Backend):
     def supports(self, spec, config, schedule=None) -> Optional[str]:
         if spec.is_periodic:
             return "compiled plans assume non-periodic boundaries"
+        if getattr(spec, "is_staged", False) and (
+                config.scheme == "overlapped"
+                or (schedule is not None and schedule.private_tasks)):
+            return ("ghost-zone (private-task) plans do not support "
+                    "staged systems")
         return None
 
     def execute(self, ctx: ExecutionContext) -> BackendOutcome:
@@ -233,13 +242,15 @@ class BatchedBackend(Backend):
             GameOfLifeOperator,
             LinearStencilOperator,
         )
+        from repro.stencils.staged import StagedOperator
 
         op = spec.operator
         if not (isinstance(op, GameOfLifeOperator)
-                or type(op) is LinearStencilOperator):
+                or type(op) is LinearStencilOperator
+                or isinstance(op, StagedOperator)):
             return (f"operator {type(op).__name__} has no batched "
-                    f"kernel; only linear and Game-of-Life operators "
-                    f"are batchable")
+                    f"kernel; only linear, Game-of-Life and staged "
+                    f"operators are batchable")
         return None
 
     def execute(self, ctx: ExecutionContext) -> BackendOutcome:
@@ -314,6 +325,9 @@ class OverlappedBackend(Backend):
     def supports(self, spec, config, schedule=None) -> Optional[str]:
         if spec.is_periodic:
             return "region schedules assume non-periodic boundaries"
+        if getattr(spec, "is_staged", False):
+            return ("the ghost-zone discipline snapshots single-field "
+                    "boxes; staged systems are not supported")
         if schedule is not None and not schedule.private_tasks:
             return ("the overlapped executor needs a private-task "
                     "(ghost-zone) schedule; use backend 'serial'")

@@ -62,7 +62,12 @@ class Session:
 
     def __init__(self, spec: StencilSpec, *, cache=None,
                  builder: Optional[ScheduleBuilder] = None):
-        self.spec = spec
+        from repro.stencils.staged import canonical_spec
+
+        # a trivial 1-stage staged wrapper IS its plain spec: unwrap at
+        # the session boundary so plans, cache keys and stats are
+        # identical and no drive-loop path ever forks on "staged"
+        self.spec = canonical_spec(spec)
         if cache is None:
             from repro.engine.cache import default_cache
 
@@ -295,8 +300,18 @@ class Session:
                                schedule=schedule, lattice=lattice,
                                plan=plan, trace=trace, budget=budget,
                                batch_grids=batch_grids)
+        stage_seconds: Dict[str, float] = {}
         t0 = time.perf_counter()
-        outcome = backend.execute(ctx)
+        if spec.is_staged:
+            from repro.stencils.staged import stage_timings
+
+            stage_timings.arm()
+            try:
+                outcome = backend.execute(ctx)
+            finally:
+                stage_seconds = stage_timings.disarm()
+        else:
+            outcome = backend.execute(ctx)
         phases["execute"] = time.perf_counter() - t0
 
         # verify --------------------------------------------------------
@@ -309,6 +324,7 @@ class Session:
         stats = self._assemble_stats(config, backend, engine, schedule,
                                      phases, trace, outcome, delta,
                                      plan, verified)
+        stats.stages = stage_seconds
         return RunResult(interior=outcome.interior, stats=stats,
                          config=config, grid=grid, schedule=schedule,
                          lattice=lattice, plan=plan,

@@ -180,6 +180,10 @@ class RunStats:
     #: result of the verify phase (None = verification not requested)
     verified: Optional[bool] = None
 
+    #: seconds per stage of a staged system's macro-step (empty for
+    #: single-formula specs); stage name -> accumulated execute seconds
+    stages: Dict[str, float] = field(default_factory=dict)
+
     # ----------------------------------------------------------------
 
     @property
@@ -223,6 +227,7 @@ class RunStats:
             "cache_hits": self.cache_hits,
             "degradations": [dict(hop) for hop in self.degradations],
             "verified": self.verified,
+            "stages": dict(self.stages),
         }
         for name in ("comm", "resilience", "cache"):
             block = getattr(self, name)
@@ -267,6 +272,7 @@ class RunStats:
                              for hop in self.degradations],
             "verified": (None if self.verified is None
                          else bool(self.verified)),
+            "stages": {str(k): float(v) for k, v in self.stages.items()},
         }
 
     @classmethod
@@ -299,6 +305,8 @@ class RunStats:
             cache_hits=int(data.get("cache_hits", 0)),
             degradations=[dict(h) for h in data.get("degradations", [])],
             verified=data.get("verified"),
+            stages={k: float(v)
+                    for k, v in data.get("stages", {}).items()},
         )
 
     def describe(self) -> str:

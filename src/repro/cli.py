@@ -106,7 +106,14 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = p.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run a kernel with a tiling scheme")
-    run.add_argument("kernel", help="heat1d|1d5p|heat2d|2d9p|life|heat3d|3d27p")
+    run.add_argument("kernel", nargs="?", default=None,
+                     help="heat1d|1d5p|heat2d|2d9p|life|heat3d|3d27p "
+                     "(or a staged system name — same as --system)")
+    run.add_argument("--system", default=None, metavar="NAME",
+                     help="staged system workload "
+                     "(fdtd1d|fdtd2d|shallow_water|gray_scott, aliases "
+                     "accepted); the whole macro-step runs through the "
+                     "chosen tiling scheme")
     run.add_argument("--shape", type=int, nargs="+", default=None,
                      help="grid extents (default: kernel-appropriate)")
     run.add_argument("--steps", type=int, default=32)
@@ -439,7 +446,14 @@ def cmd_run(args) -> int:
     from repro.api import RunConfig, Session
     from repro.runtime import ResiliencePolicy, schedule_stats
 
-    spec = get_stencil(args.kernel)
+    if args.kernel is None and args.system is None:
+        print("error: give a kernel name or --system NAME", file=sys.stderr)
+        return 2
+    if args.kernel is not None and args.system is not None:
+        print("error: give either a kernel or --system, not both",
+              file=sys.stderr)
+        return 2
+    spec = get_stencil(args.system if args.kernel is None else args.kernel)
     fault_plan = _fault_plan(args)
     config = RunConfig(
         shape=tuple(args.shape) if args.shape else None,

@@ -41,6 +41,7 @@ from repro.stencils.operators import (
     LinearStencilOperator,
 )
 from repro.stencils.spec import StencilSpec
+from repro.stencils.staged import StagedOperator
 
 __all__ = [
     "BatchGrid",
@@ -118,9 +119,11 @@ def plan_supports_batch(plan: CompiledPlan) -> Optional[str]:
                 "lowering; run instances individually")
     op = plan.spec.operator
     if not (isinstance(op, GameOfLifeOperator)
-            or type(op) is LinearStencilOperator):
+            or type(op) is LinearStencilOperator
+            or isinstance(op, StagedOperator)):
         return (f"operator {type(op).__name__} has no batched kernel; "
-                f"only linear and Game-of-Life operators are batchable")
+                f"only linear, Game-of-Life and staged operators are "
+                f"batchable")
     return None
 
 

@@ -36,6 +36,7 @@ from repro.engine.plan import CompiledPlan, compile_plan
 from repro.runtime.schedule import RegionSchedule
 from repro.stencils.operators import LinearStencilOperator
 from repro.stencils.spec import StencilSpec
+from repro.stencils.staged import canonical_spec
 
 __all__ = [
     "CacheStats",
@@ -51,8 +52,13 @@ def spec_signature(spec: StencilSpec) -> Tuple:
     """Hashable structural identity of a stencil spec.
 
     Two specs with equal signatures produce bit-identical updates, so
-    their compiled plans are interchangeable.
+    their compiled plans are interchangeable.  Staged specs are
+    canonicalized first (a trivial 1-stage wrapper signs identically to
+    its plain spec — no degenerate-case forks anywhere downstream) and
+    then signed per stage: stage class, written field, read taps and
+    coefficients, in order.
     """
+    spec = canonical_spec(spec)
     op = spec.operator
     parts: Tuple = (
         type(op).__name__,
@@ -60,6 +66,11 @@ def spec_signature(spec: StencilSpec) -> Tuple:
         str(op.dtype),
         spec.boundary,
     )
+    if getattr(spec, "is_staged", False):
+        return parts + (
+            spec.fields,
+            tuple(stage.signature() for stage in spec.stages),
+        )
     if isinstance(op, LinearStencilOperator):
         parts = parts + (op.coeffs,)
     return parts

@@ -61,7 +61,14 @@ from repro.stencils.operators import (
     GameOfLifeOperator,
     LinearStencilOperator,
 )
-from repro.stencils.spec import Region, StencilSpec, region_is_empty, region_size
+from repro.stencils.spec import (
+    Region,
+    StencilSpec,
+    clip_region,
+    region_is_empty,
+    region_size,
+)
+from repro.stencils.staged import stage_scratch, stage_timings
 
 __all__ = ["CompiledPlan", "PlanStats", "compile_plan", "execute_plan"]
 
@@ -266,6 +273,142 @@ class _LifeBatch:
                         self.off_flats, self.centre_off, arena)
 
 
+class _StagedSliceOp:
+    """One rectangle of a staged system: every stage, grown and clipped.
+
+    The grown intermediates go through the calling thread's
+    zero-exterior scratch (:func:`repro.stencils.staged.stage_scratch`);
+    only ``region`` of each field is copied into the destination
+    parity, so a schedule layer's write-disjointness is exactly the
+    spatial disjointness of its raw regions, same as a plain spec.
+    """
+
+    __slots__ = ("sp", "dp", "t", "region", "stage_ops", "copy_sls",
+                 "pad_shape")
+
+    def __init__(self, t, region, stage_ops, copy_sls, pad_shape):
+        self.t = t
+        self.sp = t % 2
+        self.dp = (t + 1) % 2
+        self.region = region
+        self.stage_ops = stage_ops      # (stage, out_sl, ((new, view_sl),))
+        self.copy_sls = copy_sls        # one (field,) + region slice per field
+        self.pad_shape = pad_shape
+
+    def writes(self):
+        return [(self.t, self.region)]
+
+    def _apply(self, bufs, spec, arena, pre_shape, pre_sl):
+        scr = stage_scratch(pre_shape + self.pad_shape, spec.dtype)
+        src = bufs[self.sp]
+        dst = bufs[self.dp]
+        timed = stage_timings.armed
+        for stage, out_sl, view_sls in self.stage_ops:
+            t0 = time.perf_counter() if timed else 0.0
+            views = [
+                (scr if new else src)[pre_sl + sl] for new, sl in view_sls
+            ]
+            stage.apply_stage(scr[pre_sl + out_sl], views, arena)
+            if timed:
+                stage_timings.record(stage.name, time.perf_counter() - t0)
+        for sl in self.copy_sls:
+            np.copyto(dst[pre_sl + sl], scr[pre_sl + sl])
+
+    def run(self, bufs, flats, spec, arena):
+        self._apply(bufs, spec, arena, (), ())
+
+    def run_batched(self, bufs, flats, spec, arena):
+        self._apply(bufs, spec, arena, (bufs[0].shape[0],), _ALL)
+
+
+class _StagedBatch:
+    """All small same-step rectangles of one staged group, gathered.
+
+    Per stage: one position array (union of the rectangles' clipped
+    grown regions, in flat spatial-buffer indices), one gather per read
+    tap (shift = flat offset + field base), one elementwise
+    ``apply_stage`` on the gathered 1-D arrays, one scatter into the
+    flat scratch.  Overlapping grown regions scatter duplicate
+    positions with *identical* values (the stage output is a pure
+    function of the source parity), so the duplicate writes are benign.
+    The final per-field copy touches only the raw (pairwise-disjoint)
+    rectangles.
+    """
+
+    __slots__ = ("sp", "dp", "t", "regions", "stage_ops", "idx",
+                 "num_fields", "field_size", "pad_shape")
+
+    def __init__(self, t, regions, stage_ops, copy_idx, num_fields,
+                 field_size, pad_shape):
+        self.t = t
+        self.sp = t % 2
+        self.dp = (t + 1) % 2
+        self.regions = regions
+        self.stage_ops = stage_ops      # (stage, pos, wshift, ((new, shift),))
+        self.idx = copy_idx             # flat spatial indices of the raw rects
+        self.num_fields = num_fields
+        self.field_size = field_size
+        self.pad_shape = pad_shape
+
+    def writes(self):
+        return [(self.t, r) for r in self.regions]
+
+    def run(self, bufs, flats, spec, arena):
+        scr_flat = stage_scratch(self.pad_shape, spec.dtype).reshape(-1)
+        src_flat = flats[self.sp]
+        dst_flat = flats[self.dp]
+        timed = stage_timings.armed
+        for stage, pos, wshift, shifts in self.stage_ops:
+            t0 = time.perf_counter() if timed else 0.0
+            ish = arena.get("sg_idx", pos.size, np.intp)
+            gathered = []
+            for i, (new, shift) in enumerate(shifts):
+                np.add(pos, shift, out=ish)
+                g = arena.get(f"sg{i}", pos.size, spec.dtype)
+                np.take(scr_flat if new else src_flat, ish, out=g)
+                gathered.append(g)
+            out = arena.get("sg_out", pos.size, spec.dtype)
+            stage.apply_stage(out, gathered, arena)
+            np.add(pos, wshift, out=ish)
+            scr_flat[ish] = out
+            if timed:
+                stage_timings.record(stage.name, time.perf_counter() - t0)
+        ish = arena.get("sg_idx", self.idx.size, np.intp)
+        g = arena.get("sg_copy", self.idx.size, spec.dtype)
+        for f in range(self.num_fields):
+            np.add(self.idx, f * self.field_size, out=ish)
+            np.take(scr_flat, ish, out=g)
+            dst_flat[ish] = g
+
+    def run_batched(self, bufs, flats, spec, arena):
+        n = bufs[0].shape[0]
+        scr2 = stage_scratch((n,) + self.pad_shape, spec.dtype).reshape(n, -1)
+        src2 = flats[self.sp]
+        dst2 = flats[self.dp]
+        timed = stage_timings.armed
+        for stage, pos, wshift, shifts in self.stage_ops:
+            t0 = time.perf_counter() if timed else 0.0
+            ish = arena.get("sg_idx", pos.size, np.intp)
+            gathered = []
+            for i, (new, shift) in enumerate(shifts):
+                np.add(pos, shift, out=ish)
+                g = arena.get(f"sgm{i}", n * pos.size,
+                              spec.dtype).reshape(n, pos.size)
+                np.take(scr2 if new else src2, ish, axis=1, out=g)
+                gathered.append(g)
+            out = arena.get("sgm_out", n * pos.size,
+                            spec.dtype).reshape(n, pos.size)
+            stage.apply_stage(out, gathered, arena)
+            np.add(pos, wshift, out=ish)
+            scr2[:, ish] = out
+            if timed:
+                stage_timings.record(stage.name, time.perf_counter() - t0)
+        ish = arena.get("sg_idx", self.idx.size, np.intp)
+        for f in range(self.num_fields):
+            np.add(self.idx, f * self.field_size, out=ish)
+            dst2[:, ish] = scr2[:, ish]
+
+
 class _PrivateTask:
     """One ghost-zone task: snapshot box, local steps, core write-back.
 
@@ -445,12 +588,22 @@ class _CompileCtx:
 
     def __init__(self, spec: StencilSpec, shape: Sequence[int]):
         self.spec = spec
+        self.shape = tuple(int(n) for n in shape)
         self.halo = spec.halo
         self.padded = spec.padded_shape(shape)
         self.strides = _element_strides(self.padded)
         op = spec.operator
         self.kind = "generic"
-        if isinstance(op, GameOfLifeOperator):
+        if getattr(spec, "is_staged", False):
+            self.kind = "staged"
+            # regions stay spatial: strides/flat-index math must ignore
+            # the leading field axis of the padded buffer
+            self.strides = _element_strides(self.padded[1:])
+            self.num_fields = len(spec.fields)
+            self.field_size = 1
+            for n in self.padded[1:]:
+                self.field_size *= int(n)
+        elif isinstance(op, GameOfLifeOperator):
             self.kind = "life"
             self.neigh_offs = tuple(o for o in op.offsets if o != (0, 0))
             self.neigh_flats = tuple(
@@ -467,7 +620,38 @@ class _CompileCtx:
                 for o in self.offs
             )
 
+    def _grown_regions(self, region: Region):
+        """Per-stage clipped grown regions of one raw region."""
+        op = self.spec.operator
+        return [
+            clip_region(
+                tuple((lo - gr, hi + gr)
+                      for (lo, hi), gr in zip(region, grow)),
+                self.shape,
+            )
+            for grow in op.grow
+        ]
+
     def slice_unit(self, t: int, region: Region):
+        if self.kind == "staged":
+            op = self.spec.operator
+            zero = (0,) * len(region)
+            stage_ops = []
+            for stage, g in zip(op.stages, self._grown_regions(region)):
+                out_sl = ((op.field_index[stage.writes],)
+                          + _region_slices(g, self.halo, zero))
+                view_sls = tuple(
+                    (new, (op.field_index[f],)
+                     + _region_slices(g, self.halo, off))
+                    for f, off, new in stage.reads
+                )
+                stage_ops.append((stage, out_sl, view_sls))
+            copy_sl = _region_slices(region, self.halo, zero)
+            return _StagedSliceOp(
+                t, region, tuple(stage_ops),
+                tuple((f,) + copy_sl for f in range(self.num_fields)),
+                self.padded,
+            )
         if self.kind == "linear":
             return _LinearSliceOp(
                 t, region,
@@ -487,6 +671,30 @@ class _CompileCtx:
         return _GenericSliceOp(t, region)
 
     def batch_unit(self, t: int, regions: List[Region]):
+        if self.kind == "staged":
+            op = self.spec.operator
+            stage_ops = []
+            for si, stage in enumerate(op.stages):
+                pos = np.concatenate([
+                    _region_flat_indices(self._grown_regions(r)[si],
+                                         self.halo, self.strides)
+                    for r in regions
+                ]) if regions else np.empty(0, dtype=np.intp)
+                wshift = op.field_index[stage.writes] * self.field_size
+                shifts = tuple(
+                    (new,
+                     sum(c * st for c, st in zip(off, self.strides))
+                     + op.field_index[f] * self.field_size)
+                    for f, off, new in stage.reads
+                )
+                stage_ops.append((stage, pos, wshift, shifts))
+            copy_idx = np.concatenate([
+                _region_flat_indices(r, self.halo, self.strides)
+                for r in regions
+            ]) if regions else np.empty(0, dtype=np.intp)
+            return _StagedBatch(t, regions, tuple(stage_ops), copy_idx,
+                                self.num_fields, self.field_size,
+                                self.padded)
         if self.kind not in ("linear", "life"):
             return None
         idx = np.concatenate([
@@ -551,6 +759,14 @@ def compile_plan(
     """
     if spec.is_periodic:
         raise ValueError("compiled plans assume non-periodic boundaries")
+    if schedule.private_tasks and getattr(spec, "is_staged", False):
+        # _PrivateTask snapshots are spatial-only slices of one buffer;
+        # the ghost-zone discipline has no field axis — refuse rather
+        # than mis-slice
+        raise ValueError(
+            "ghost-zone (private-task) schedules do not support staged "
+            "systems"
+        )
     if len(schedule.shape) != spec.ndim:
         raise ValueError(
             f"schedule rank {len(schedule.shape)} != stencil ndim {spec.ndim}"

@@ -207,8 +207,12 @@ def job_identity(kernel: str, config: Dict[str, Any]):
     shape = cfg.shape or tuple(ScheduleBuilder().default_shape(spec))
     canon = json.dumps(cfg.to_json(), sort_keys=True,
                        separators=(",", ":"))
+    # spec.name, not the submitted kernel string: alias spellings of a
+    # staged system ("gray-scott", "gs", ...) resolve to one canonical
+    # name, so they dedup onto one job (paper kernels are unaffected —
+    # their registry key IS the spec name)
     digest = hashlib.sha256(
-        f"{kernel}|{spec_signature(spec)!r}|{canon}".encode()
+        f"{spec.name}|{spec_signature(spec)!r}|{canon}".encode()
     ).hexdigest()
     estimate = estimate_peak_bytes(spec, shape, cfg)
     return spec, cfg, shape, digest, int(estimate)

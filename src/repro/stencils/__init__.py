@@ -34,6 +34,24 @@ from repro.stencils.library import (
 )
 from repro.stencils.grid import Grid, make_grid
 from repro.stencils.reference import reference_sweep, reference_step
+from repro.stencils.staged import (
+    LinearStage,
+    Stage,
+    StagedOperator,
+    StagedSpec,
+    canonical_spec,
+    make_staged,
+    split_linear_spec,
+)
+from repro.stencils.systems import (
+    SYSTEM_REGISTRY,
+    fdtd1d,
+    fdtd2d,
+    get_system,
+    gray_scott,
+    shallow_water,
+    system_names,
+)
 
 __all__ = [
     "StencilSpec",
@@ -55,4 +73,18 @@ __all__ = [
     "make_grid",
     "reference_sweep",
     "reference_step",
+    "Stage",
+    "LinearStage",
+    "StagedOperator",
+    "StagedSpec",
+    "canonical_spec",
+    "make_staged",
+    "split_linear_spec",
+    "SYSTEM_REGISTRY",
+    "fdtd1d",
+    "fdtd2d",
+    "get_system",
+    "gray_scott",
+    "shallow_water",
+    "system_names",
 ]

@@ -42,16 +42,21 @@ def make_grid(
     arr = np.zeros(spec.padded_shape(shape), dtype=spec.dtype)
     interior = arr[spec.interior_slices(shape)]
     rng = np.random.default_rng(seed)
+    # interior.shape == shape for plain specs; staged specs carry a
+    # leading field axis, which must get independent random values and
+    # a per-field impulse (gradient broadcasts across fields below).
     if init == "random":
         if np.issubdtype(spec.dtype, np.integer):
-            interior[...] = rng.integers(0, 2, size=shape, dtype=spec.dtype)
+            interior[...] = rng.integers(
+                0, 2, size=interior.shape, dtype=spec.dtype
+            )
         else:
-            interior[...] = rng.random(size=shape)
+            interior[...] = rng.random(size=interior.shape)
     elif init == "zeros":
         pass
     elif init == "impulse":
         centre = tuple(n // 2 for n in shape)
-        interior[centre] = 1
+        interior[(Ellipsis,) + centre] = 1
     elif init == "gradient":
         acc = np.zeros(shape, dtype=np.float64)
         for j, n in enumerate(shape):

@@ -100,11 +100,28 @@ STENCIL_REGISTRY: Dict[str, Callable[..., StencilSpec]] = {
 
 
 def get_stencil(name: str, boundary: str = "dirichlet") -> StencilSpec:
-    """Look up a paper benchmark kernel by name (see STENCIL_REGISTRY)."""
+    """Look up a paper kernel or staged system by name.
+
+    Resolves the seven paper kernels first, then the staged systems of
+    :mod:`repro.stencils.systems` (canonical names and aliases) — so
+    every consumer of kernel strings (CLI, service wire format,
+    idempotency keys) accepts systems with no further changes.
+    """
     try:
         factory = STENCIL_REGISTRY[name]
     except KeyError:
+        from repro.stencils.systems import SYSTEM_ALIASES, SYSTEM_REGISTRY
+
+        canonical = SYSTEM_ALIASES.get(name, name)
+        if canonical in SYSTEM_REGISTRY:
+            if boundary != "dirichlet":
+                raise ValueError(
+                    f"staged system {name!r} supports Dirichlet "
+                    f"boundaries only, got {boundary!r}"
+                )
+            return SYSTEM_REGISTRY[canonical]()
         raise KeyError(
-            f"unknown stencil {name!r}; available: {sorted(STENCIL_REGISTRY)}"
+            f"unknown stencil {name!r}; available: "
+            f"{sorted(STENCIL_REGISTRY) + sorted(SYSTEM_REGISTRY)}"
         ) from None
     return factory(boundary=boundary)

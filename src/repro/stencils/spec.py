@@ -148,6 +148,11 @@ class StencilSpec:
     def is_periodic(self) -> bool:
         return self.boundary == "periodic"
 
+    @property
+    def is_staged(self) -> bool:
+        """True for multi-stage systems (see ``stencils.staged``)."""
+        return False
+
     # -- application -------------------------------------------------
 
     def apply_region(

@@ -1,0 +1,522 @@
+"""Multi-stage stencil systems: a StagedSpec DAG over named fields.
+
+One :class:`~repro.stencils.spec.StencilSpec` describes one update
+formula over one array.  Real time-stepped systems — FDTD
+electromagnetics, shallow-water flow, reaction–diffusion — update
+*several* arrays per time step, each by its own atomic formula, some
+reading values the *same* step already produced (the Gauss–Seidel-style
+half-step coupling of a Yee scheme).  This module decomposes such a
+system into an ordered tuple of :class:`Stage` objects over named
+fields and packages the whole macro-step as a :class:`StagedSpec` that
+duck-types (in fact subclasses) ``StencilSpec``, so every layer of the
+existing pipeline — builder, sanitizer, schedules, compiled engine,
+batched serving — runs it unchanged.
+
+Representation
+--------------
+Grid buffers gain a leading *field* axis: a staged grid is one
+``[F, *padded]`` array per ping-pong parity, field ``f`` of global time
+``t`` living at ``buffers[t % 2][f]``.  One schedule action
+``(t, region)`` advances **all** stages of the macro-step on ``region``
+— so the ping-pong/two-buffer argument (paper Theorem 3.6) and every
+tiling scheme's geometry apply verbatim, with the composed dependence
+slopes below.
+
+Composed geometry
+-----------------
+Stage reads are ``(field, offset, new)`` taps: ``new=False`` reads the
+macro-step-start value (the ``t`` parity buffer), ``new=True`` reads
+the value an *earlier* stage wrote this macro-step.  To produce stage
+outputs correct on ``region``, each stage computes on a grown region::
+
+    grow[s][j] = max over later stages t reading s's output
+                 ( grow[t][j] + max |new-tap offset along j| )
+
+(zero when nothing downstream reads the stage).  By construction
+``grow[s] >= grow[t] + reach(t reads s)``, so every new-read lands
+inside an earlier stage's grown region (or, after clipping to the
+interior, in the scratch halo — which is kept zero, exactly the
+Dirichlet value of intermediate fields outside the interior).  The
+grown intermediates live in a per-thread zero-exterior scratch array;
+only ``region`` of each written field is copied into the destination
+parity, so same-step write-disjointness of a schedule is untouched and
+redundant grown computation is deterministic-identical (the overlapped
+tiling argument).
+
+Seen from the outside, the macro-step is a plain Jacobi stencil whose
+per-dimension slope is ``max_s(grow[s][j] + old-read slope of s)`` —
+the union of downstream stage reaches the per-field halos derive from.
+The sanitizer, every scheme builder and the schedule legality proofs
+therefore hold for staged specs with no new interval language.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencils.operators import (
+    LinearStencilOperator,
+    StencilOperator,
+    _region_slices,
+)
+from repro.stencils.spec import Region, StencilSpec, clip_region
+
+__all__ = [
+    "LinearStage",
+    "Stage",
+    "StagedOperator",
+    "StagedSpec",
+    "canonical_spec",
+    "make_staged",
+    "split_linear_spec",
+    "stage_scratch",
+    "stage_timings",
+]
+
+Offset = Tuple[int, ...]
+#: one read tap: (field name, offset, new) — ``new`` reads the value an
+#: earlier stage of the same macro-step wrote
+Read = Tuple[str, Offset, bool]
+
+
+# ---------------------------------------------------------------------------
+# per-thread zero-exterior scratch
+# ---------------------------------------------------------------------------
+
+_scratch_tls = threading.local()
+
+
+def stage_scratch(shape: Sequence[int], dtype) -> np.ndarray:
+    """The calling thread's staged scratch buffer for ``shape``/``dtype``.
+
+    Created zero-filled; every writer clips its region to the interior,
+    so the halo (and any leading batch margin) stays zero across reuse —
+    the invariant that makes new-reads beyond the interior read the
+    Dirichlet value of intermediate fields.
+    """
+    store = getattr(_scratch_tls, "store", None)
+    if store is None:
+        store = _scratch_tls.store = {}
+    key = (tuple(int(n) for n in shape), np.dtype(dtype).str)
+    buf = store.get(key)
+    if buf is None:
+        buf = np.zeros(key[0], dtype=dtype)
+        store[key] = buf
+    return buf
+
+
+# ---------------------------------------------------------------------------
+# per-stage timing collector (armed by Session, thread-safe)
+# ---------------------------------------------------------------------------
+
+class _StageTimings:
+    """Armed-only accumulator of per-stage execute seconds."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._armed = 0
+        self._acc: Dict[str, float] = {}
+
+    @property
+    def armed(self) -> bool:
+        return self._armed > 0
+
+    def arm(self) -> None:
+        with self._lock:
+            self._armed += 1
+            self._acc = {}
+
+    def disarm(self) -> Dict[str, float]:
+        with self._lock:
+            self._armed = max(0, self._armed - 1)
+            out, self._acc = self._acc, {}
+            return out
+
+    def record(self, name: str, seconds: float) -> None:
+        with self._lock:
+            self._acc[name] = self._acc.get(name, 0.0) + seconds
+
+
+#: module-level collector; zero overhead unless a Session armed it
+stage_timings = _StageTimings()
+
+
+# ---------------------------------------------------------------------------
+# stages
+# ---------------------------------------------------------------------------
+
+class Stage(abc.ABC):
+    """One atomic update of a staged system: writes one field.
+
+    ``reads`` lists the tap set as ``(field, offset, new)``; ``new``
+    taps must read a field a strictly earlier stage writes.  The
+    elementwise kernel :meth:`apply_stage` receives the gathered read
+    views in ``reads`` order and must be layout-independent (region
+    views, flat gathered 1-D arrays and leading-batch-axis arrays all
+    produce bit-identical per-point results), which every pure-ufunc
+    implementation is.
+    """
+
+    name: str
+    writes: str
+    reads: Tuple[Read, ...]
+
+    @property
+    def ndim(self) -> int:
+        return len(self.reads[0][1])
+
+    def old_slopes(self) -> Tuple[int, ...]:
+        """Per-dimension max |offset| over macro-step-start reads."""
+        offs = [o for _, o, new in self.reads if not new]
+        return tuple(
+            max((abs(o[j]) for o in offs), default=0)
+            for j in range(self.ndim)
+        )
+
+    def new_reach(self, field: str) -> Optional[Tuple[int, ...]]:
+        """Per-dim max |offset| of new-reads of ``field`` (None if none)."""
+        offs = [o for f, o, new in self.reads if new and f == field]
+        if not offs:
+            return None
+        return tuple(
+            max(abs(o[j]) for o in offs) for j in range(self.ndim)
+        )
+
+    @property
+    @abc.abstractmethod
+    def flops_per_point(self) -> int:
+        """Operations per point update (for the machine model)."""
+
+    @abc.abstractmethod
+    def apply_stage(self, out: np.ndarray, views: Sequence[np.ndarray],
+                    arena=None) -> None:
+        """``out[...] = f(views...)`` elementwise, in ``reads`` order."""
+
+    def signature(self) -> Tuple:
+        """Hashable structural identity (plan cache / idempotency keys)."""
+        return (type(self).__name__, self.name, self.writes, self.reads)
+
+    def to_operator(self) -> Optional[StencilOperator]:
+        """Monolithic equivalent when one exists (1-stage unwrap hook)."""
+        return None
+
+
+class LinearStage(Stage):
+    """Weighted-sum stage: ``out = sum_k c_k * read_k``.
+
+    The accumulation is the first tap multiplied into the output
+    followed by in-place ``out += view * c`` — exactly
+    :meth:`LinearStencilOperator.apply`'s per-point float sequence, so
+    a prefix split of a monolithic linear kernel recomposes
+    bit-identically (``x * 1.0`` is exact, and the tail taps add in the
+    original order).
+    """
+
+    def __init__(self, name: str, writes: str,
+                 taps: Sequence[Tuple[str, Offset, float, bool]]):
+        if not taps:
+            raise ValueError(f"stage {name!r} needs at least one tap")
+        self.name = str(name)
+        self.writes = str(writes)
+        self.taps = tuple(
+            (str(f), tuple(int(c) for c in off), float(coeff), bool(new))
+            for f, off, coeff, new in taps
+        )
+        ndims = {len(t[1]) for t in self.taps}
+        if len(ndims) != 1:
+            raise ValueError(f"stage {name!r}: mixed offset ranks")
+        self.reads = tuple((f, off, new) for f, off, _, new in self.taps)
+        self.coeffs = tuple(t[2] for t in self.taps)
+
+    @property
+    def flops_per_point(self) -> int:
+        return 2 * len(self.taps) - 1
+
+    def apply_stage(self, out, views, arena=None) -> None:
+        np.multiply(views[0], self.coeffs[0], out=out)
+        if len(views) == 1:
+            return
+        if arena is not None:
+            tmp = arena.get("stage_tmp", out.size, out.dtype)
+            tmp = tmp.reshape(out.shape)
+            for v, c in zip(views[1:], self.coeffs[1:]):
+                np.multiply(v, c, out=tmp)
+                np.add(out, tmp, out=out)
+        else:
+            for v, c in zip(views[1:], self.coeffs[1:]):
+                out += v * c
+
+    def signature(self) -> Tuple:
+        return (type(self).__name__, self.name, self.writes, self.taps)
+
+    def to_operator(self) -> Optional[StencilOperator]:
+        fields = {f for f, _, _, _ in self.taps}
+        if fields != {self.writes} or any(new for *_, new in self.taps):
+            return None
+        return LinearStencilOperator(
+            offsets=[off for _, off, _, _ in self.taps],
+            coeffs=list(self.coeffs),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"LinearStage({self.name!r} -> {self.writes!r}, "
+                f"{len(self.taps)} taps)")
+
+
+# ---------------------------------------------------------------------------
+# the composed macro-step operator
+# ---------------------------------------------------------------------------
+
+def _star_offsets_for(slopes: Sequence[int]) -> Tuple[Offset, ...]:
+    """Centre plus ±1..±slope per axis — covers the composed reach."""
+    nd = len(slopes)
+    offs = [(0,) * nd]
+    for j, s in enumerate(slopes):
+        for k in range(1, int(s) + 1):
+            for sgn in (-1, 1):
+                o = [0] * nd
+                o[j] = sgn * k
+                offs.append(tuple(o))
+    return tuple(offs)
+
+
+class StagedOperator(StencilOperator):
+    """Applies one whole macro-step (all stages, in order) to a region.
+
+    ``src``/``dst`` are ``[F, *padded]`` parity buffers; the grown
+    intermediates go through the calling thread's zero-exterior scratch
+    (:func:`stage_scratch`) and only ``region`` of each written field is
+    copied into ``dst``.
+    """
+
+    def __init__(self, stages: Sequence[Stage], fields: Tuple[str, ...],
+                 grow: Tuple[Tuple[int, ...], ...],
+                 slopes: Tuple[int, ...], dtype=np.float64):
+        self.stages = tuple(stages)
+        self.fields = fields
+        self.field_index = {f: i for i, f in enumerate(fields)}
+        self.grow = grow
+        self._slopes = tuple(int(s) for s in slopes)
+        self._dtype = np.dtype(dtype)
+        super().__init__(_star_offsets_for(self._slopes))
+
+    @property
+    def slopes(self) -> Tuple[int, ...]:
+        return self._slopes
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    @property
+    def flops_per_point(self) -> int:
+        return sum(st.flops_per_point for st in self.stages)
+
+    def apply(self, src, dst, region, halo) -> None:
+        nd = self.ndim
+        interior = tuple(
+            int(n) - 2 * int(h) for n, h in zip(src.shape[1:], halo)
+        )
+        scr = stage_scratch(src.shape, self._dtype)
+        timed = stage_timings.armed
+        for st, grow in zip(self.stages, self.grow):
+            t0 = time.perf_counter() if timed else 0.0
+            g = clip_region(
+                tuple((lo - gr, hi + gr)
+                      for (lo, hi), gr in zip(region, grow)),
+                interior,
+            )
+            out = scr[(self.field_index[st.writes],)
+                      + _region_slices(g, halo, (0,) * nd)]
+            views = [
+                (scr if new else src)[(self.field_index[f],)
+                                      + _region_slices(g, halo, off)]
+                for f, off, new in st.reads
+            ]
+            st.apply_stage(out, views)
+            if timed:
+                stage_timings.record(st.name, time.perf_counter() - t0)
+        out_sl = _region_slices(region, halo, (0,) * nd)
+        for f in range(len(self.fields)):
+            np.copyto(dst[(f,) + out_sl], scr[(f,) + out_sl])
+
+    def apply_wrapped(self, src: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            "staged systems support Dirichlet boundaries only"
+        )
+
+
+# ---------------------------------------------------------------------------
+# the spec
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StagedSpec(StencilSpec):
+    """A multi-stage system as a drop-in :class:`StencilSpec`.
+
+    Build through :func:`make_staged`.  ``ndim`` stays the *spatial*
+    rank; buffers gain a leading field axis, which
+    :meth:`padded_shape` / :meth:`interior_slices` account for — every
+    consumer that goes through those two methods (grids, checkpoints,
+    the batch stacker, the QoS byte estimator) is staged-ready with no
+    further changes.
+    """
+
+    fields: Tuple[str, ...] = ()
+
+    @property
+    def is_staged(self) -> bool:
+        return True
+
+    @property
+    def stages(self) -> Tuple[Stage, ...]:
+        return self.operator.stages
+
+    @property
+    def num_fields(self) -> int:
+        return len(self.fields)
+
+    def field_index(self, name: str) -> int:
+        return self.operator.field_index[name]
+
+    def padded_shape(self, shape: Sequence[int]) -> Tuple[int, ...]:
+        return (len(self.fields),) + super().padded_shape(shape)
+
+    def interior_slices(self, shape: Sequence[int]) -> Tuple[slice, ...]:
+        return (slice(None),) + super().interior_slices(shape)
+
+    def describe(self) -> str:
+        chain = " -> ".join(st.name for st in self.stages)
+        return (
+            f"{self.name}: {self.ndim}D staged system, "
+            f"{len(self.stages)} stages ({chain}), fields="
+            f"{'/'.join(self.fields)}, composed slopes={self.slopes}, "
+            f"{self.flops_per_point} flops/pt, {self.boundary} boundary"
+        )
+
+
+def _compute_grow(stages: Sequence[Stage], nd: int
+                  ) -> Tuple[Tuple[int, ...], ...]:
+    """Backward recursion of the grown-region vectors (module docstring)."""
+    n = len(stages)
+    grow: list = [None] * n
+    for s in range(n - 1, -1, -1):
+        g = [0] * nd
+        for t in range(s + 1, n):
+            reach = stages[t].new_reach(stages[s].writes)
+            if reach is None:
+                continue
+            for j in range(nd):
+                g[j] = max(g[j], grow[t][j] + reach[j])
+        grow[s] = tuple(g)
+    return tuple(grow)
+
+
+def make_staged(name: str, stages: Sequence[Stage],
+                dtype=np.float64) -> StagedSpec:
+    """Validate a stage tuple and build its :class:`StagedSpec`.
+
+    Every field must be written by exactly one stage (a macro-step
+    carries the whole state forward), new-reads must name a field a
+    strictly earlier stage writes, and all stages must share one
+    spatial rank.
+    """
+    stages = tuple(stages)
+    if not stages:
+        raise ValueError("a staged spec needs at least one stage")
+    nd = stages[0].ndim
+    if any(st.ndim != nd for st in stages):
+        raise ValueError("all stages must share one spatial rank")
+    fields = tuple(st.writes for st in stages)
+    if len(set(fields)) != len(fields):
+        dup = sorted({f for f in fields if fields.count(f) > 1})
+        raise ValueError(f"fields written by more than one stage: {dup}")
+    written_before: set = set()
+    known = set(fields)
+    for st in stages:
+        for f, off, new in st.reads:
+            if f not in known:
+                raise ValueError(
+                    f"stage {st.name!r} reads unknown field {f!r} "
+                    f"(fields: {sorted(known)})"
+                )
+            if new and f not in written_before:
+                raise ValueError(
+                    f"stage {st.name!r} new-reads {f!r}, which no "
+                    f"earlier stage writes — stages must be in "
+                    f"dependence order"
+                )
+        written_before.add(st.writes)
+    grow = _compute_grow(stages, nd)
+    olds = [st.old_slopes() for st in stages]
+    slopes = tuple(
+        max(grow[i][j] + olds[i][j] for i in range(len(stages)))
+        for j in range(nd)
+    )
+    op = StagedOperator(stages, fields, grow, slopes, dtype=dtype)
+    return StagedSpec(name=name, ndim=nd, operator=op, shape="custom",
+                      boundary="dirichlet", fields=fields)
+
+
+# ---------------------------------------------------------------------------
+# canonicalization: the single-spec path is the degenerate 1-stage case
+# ---------------------------------------------------------------------------
+
+def canonical_spec(spec: StencilSpec) -> StencilSpec:
+    """Unwrap a trivial 1-stage, 1-field staged spec to its plain spec.
+
+    ``make_staged(n, (stage,))`` of a self-contained linear stage and
+    the equivalent plain :class:`StencilSpec` must produce identical
+    plans, cache keys and stats — so the pipeline canonicalizes the
+    wrapper away at the spec boundary instead of forking the drive
+    loop.  Non-trivial staged specs (several stages, several fields, or
+    a stage with no monolithic operator) pass through unchanged.
+    """
+    if not getattr(spec, "is_staged", False):
+        return spec
+    if len(spec.stages) != 1 or len(spec.fields) != 1:
+        return spec
+    op = spec.stages[0].to_operator()
+    if op is None:
+        return spec
+    return StencilSpec(name=spec.name, ndim=spec.ndim, operator=op,
+                       shape="custom", boundary=spec.boundary)
+
+
+def split_linear_spec(spec: StencilSpec, k: int,
+                      name: Optional[str] = None) -> StagedSpec:
+    """Two-stage prefix decomposition of a monolithic linear kernel.
+
+    Stage ``partial`` accumulates the kernel's first ``k`` taps into a
+    scratch field ``w`` from macro-step-start values; stage ``total``
+    starts from ``1.0 * w`` (bit-exact) and adds the remaining taps in
+    the original order — so the composition is bit-identical to the
+    monolithic spec on the shared field (the Hypothesis property the
+    tests pin).
+    """
+    op = spec.operator
+    if type(op) is not LinearStencilOperator:
+        raise TypeError("can only split a LinearStencilOperator spec")
+    if not 1 <= k < len(op.offsets):
+        raise ValueError(
+            f"split point {k} outside [1, {len(op.offsets) - 1}]"
+        )
+    u, w = "u", "w"
+    head = [(u, off, c, False)
+            for off, c in zip(op.offsets[:k], op.coeffs[:k])]
+    zero = (0,) * spec.ndim
+    tail = [(w, zero, 1.0, True)] + [
+        (u, off, c, False)
+        for off, c in zip(op.offsets[k:], op.coeffs[k:])
+    ]
+    return make_staged(
+        name or f"{spec.name}-split{k}",
+        (LinearStage("partial", w, head), LinearStage("total", u, tail)),
+        dtype=op.dtype,
+    )

@@ -1,0 +1,221 @@
+"""Multi-stage system workloads: FDTD, shallow-water, Gray–Scott.
+
+Four staged systems built on :mod:`repro.stencils.staged`, each a
+first-class workload next to the seven single-formula paper kernels.
+All are float64 Dirichlet systems (zero exterior — absorbing walls for
+the wave systems, zero-concentration rim for reaction–diffusion), so
+every tiling scheme, backend and the whole serving stack runs them
+unchanged through the composed-slope Jacobi view.
+
+The coefficients are stable explicit-update choices; correctness in
+this repo means *bit-identity to the per-stage naive oracle*
+(:func:`repro.stencils.reference.reference_sweep`), not physical
+fidelity — see ``docs/systems.md`` for the equations and the per-system
+stage/halo tables.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from repro.stencils.staged import LinearStage, Stage, StagedSpec, make_staged
+
+__all__ = [
+    "SYSTEM_ALIASES",
+    "SYSTEM_REGISTRY",
+    "fdtd1d",
+    "fdtd2d",
+    "get_system",
+    "gray_scott",
+    "shallow_water",
+    "system_names",
+]
+
+
+# ---------------------------------------------------------------------------
+# FDTD (Yee leapfrog), 1D and 2D TE
+# ---------------------------------------------------------------------------
+
+def fdtd1d(c: float = 0.45) -> StagedSpec:
+    """1D transverse electromagnetic FDTD: fields ``hy`` then ``ez``.
+
+    The Yee half-step structure appears as stage coupling: ``hy``
+    updates from macro-step-start ``ez``; ``ez`` then updates from the
+    *freshly written* ``hy`` (new-reads).  ``c`` is the Courant number
+    (stable for ``c <= 1``).
+    """
+    hy = LinearStage("hy", "hy", [
+        ("hy", (0,), 1.0, False),
+        ("ez", (1,), c, False),
+        ("ez", (0,), -c, False),
+    ])
+    ez = LinearStage("ez", "ez", [
+        ("ez", (0,), 1.0, False),
+        ("hy", (0,), c, True),
+        ("hy", (-1,), -c, True),
+    ])
+    return make_staged("fdtd1d", (hy, ez))
+
+
+def fdtd2d(c: float = 0.35) -> StagedSpec:
+    """2D TE-mode FDTD: ``hz`` from old curls, then ``ex``/``ey`` from
+    the fresh ``hz`` (stable for ``c <= 1/sqrt(2)``)."""
+    hz = LinearStage("hz", "hz", [
+        ("hz", (0, 0), 1.0, False),
+        ("ex", (0, 1), c, False),
+        ("ex", (0, 0), -c, False),
+        ("ey", (1, 0), -c, False),
+        ("ey", (0, 0), c, False),
+    ])
+    ex = LinearStage("ex", "ex", [
+        ("ex", (0, 0), 1.0, False),
+        ("hz", (0, 0), c, True),
+        ("hz", (0, -1), -c, True),
+    ])
+    ey = LinearStage("ey", "ey", [
+        ("ey", (0, 0), 1.0, False),
+        ("hz", (0, 0), -c, True),
+        ("hz", (-1, 0), c, True),
+    ])
+    return make_staged("fdtd2d", (hz, ex, ey))
+
+
+# ---------------------------------------------------------------------------
+# linearized shallow-water equations on a staggered update
+# ---------------------------------------------------------------------------
+
+def shallow_water(g: float = 0.1) -> StagedSpec:
+    """Linearized shallow-water: velocities from old height gradients,
+    then height from the fresh velocity divergence."""
+    u = LinearStage("u", "u", [
+        ("u", (0, 0), 1.0, False),
+        ("h", (1, 0), -g, False),
+        ("h", (0, 0), g, False),
+    ])
+    v = LinearStage("v", "v", [
+        ("v", (0, 0), 1.0, False),
+        ("h", (0, 1), -g, False),
+        ("h", (0, 0), g, False),
+    ])
+    h = LinearStage("h", "h", [
+        ("h", (0, 0), 1.0, False),
+        ("u", (0, 0), -g, True),
+        ("u", (-1, 0), g, True),
+        ("v", (0, 0), -g, True),
+        ("v", (0, -1), g, True),
+    ])
+    return make_staged("shallow_water", (u, v, h))
+
+
+# ---------------------------------------------------------------------------
+# Gray–Scott reaction–diffusion (non-linear stages)
+# ---------------------------------------------------------------------------
+
+_GS_OFFS_2D = ((0, 0), (-1, 0), (1, 0), (0, -1), (0, 1))
+
+
+class _GrayScottU(Stage):
+    """``u' = u + du*lap(u) - u*v^2 + F*(1 - u)`` (all old reads)."""
+
+    def __init__(self, du: float, F: float):
+        self.name = "u"
+        self.writes = "u"
+        self.du = float(du)
+        self.F = float(F)
+        self.reads = tuple(
+            [("u", off, False) for off in _GS_OFFS_2D] + [("v", (0, 0), False)]
+        )
+
+    @property
+    def flops_per_point(self) -> int:
+        return 12
+
+    def apply_stage(self, out, views, arena=None) -> None:
+        uc, un, us, uw, ue, vc = views
+        lap = un + us + uw + ue - 4.0 * uc
+        out[...] = uc + self.du * lap - uc * vc * vc + self.F * (1.0 - uc)
+
+    def signature(self):
+        return (type(self).__name__, self.name, self.writes, self.reads,
+                self.du, self.F)
+
+
+class _GrayScottV(Stage):
+    """``v' = v + dv*lap(v) + u*v^2 - (F + k)*v`` (all old reads)."""
+
+    def __init__(self, dv: float, F: float, k: float):
+        self.name = "v"
+        self.writes = "v"
+        self.dv = float(dv)
+        self.decay = float(F) + float(k)
+        self.reads = tuple(
+            [("v", off, False) for off in _GS_OFFS_2D] + [("u", (0, 0), False)]
+        )
+
+    @property
+    def flops_per_point(self) -> int:
+        return 11
+
+    def apply_stage(self, out, views, arena=None) -> None:
+        vc, vn, vs, vw, ve, uc = views
+        lap = vn + vs + vw + ve - 4.0 * vc
+        out[...] = vc + self.dv * lap + uc * vc * vc - self.decay * vc
+
+    def signature(self):
+        return (type(self).__name__, self.name, self.writes, self.reads,
+                self.dv, self.decay)
+
+
+def gray_scott(du: float = 0.2097, dv: float = 0.105,
+               F: float = 0.029, k: float = 0.057) -> StagedSpec:
+    """Gray–Scott reaction–diffusion: two *non-linear* parallel stages.
+
+    Both stages read only macro-step-start values (a parallel stage
+    DAG — no grown regions at all), exercising the non-linear
+    ``apply_stage`` path the FDTD systems don't.
+    """
+    return make_staged("gray_scott", (_GrayScottU(du, F),
+                                      _GrayScottV(dv, F, k)))
+
+
+# ---------------------------------------------------------------------------
+# registry
+# ---------------------------------------------------------------------------
+
+SYSTEM_REGISTRY: Dict[str, Callable[[], StagedSpec]] = {
+    "fdtd1d": fdtd1d,
+    "fdtd2d": fdtd2d,
+    "shallow_water": shallow_water,
+    "gray_scott": gray_scott,
+}
+
+#: alternative spellings accepted everywhere a system name is; the spec
+#: always carries the canonical name, so idempotency keys dedup aliases
+SYSTEM_ALIASES: Dict[str, str] = {
+    "fdtd-1d": "fdtd1d",
+    "fdtd2d-te": "fdtd2d",
+    "fdtd-2d": "fdtd2d",
+    "shallow-water": "shallow_water",
+    "swe": "shallow_water",
+    "gray-scott": "gray_scott",
+    "gs": "gray_scott",
+    "reaction_diffusion": "gray_scott",
+}
+
+
+def system_names() -> Sequence[str]:
+    """Canonical system names, sorted."""
+    return sorted(SYSTEM_REGISTRY)
+
+
+def get_system(name: str) -> StagedSpec:
+    """Look up a system by canonical name or alias."""
+    canonical = SYSTEM_ALIASES.get(name, name)
+    try:
+        factory = SYSTEM_REGISTRY[canonical]
+    except KeyError:
+        raise KeyError(
+            f"unknown system {name!r} (available: {system_names()}, "
+            f"aliases: {sorted(SYSTEM_ALIASES)})"
+        ) from None
+    return factory()

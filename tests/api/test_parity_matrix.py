@@ -50,6 +50,23 @@ SUPPORTED = {
     "baseline:overlapped": {"overlapped"},
 }
 
+#: staged systems: the tiled executors run every non-overlapped scheme
+#: (redundant-halo recomputation would duplicate stage side buffers);
+#: single-field lattice walkers and the overlapped baseline refuse.
+STAGED_SUPPORTED = {
+    "serial": set(SCHEMES) - {"overlapped"},
+    "compiled": set(SCHEMES) - {"overlapped"},
+    "batched": set(SCHEMES) - {"overlapped"},
+    "threaded": set(SCHEMES) - {"overlapped"},
+    "resilient": set(SCHEMES) - {"overlapped"},
+    "distributed": set(),
+    "elastic": set(),
+    "baseline:pointwise": set(),
+    "baseline:blocked": set(),
+    "baseline:merged": set(),
+    "baseline:overlapped": set(),
+}
+
 _EXTRA_MARKS = {
     "elastic": (pytest.mark.dist,),  # spawns real rank processes
     "compiled": (pytest.mark.engine,),
@@ -100,6 +117,46 @@ def test_cell(backend, scheme, steps, references):
         assert err.backend == backend
         assert err.reason, "refusal must carry a human-readable reason"
         assert backend in str(err)
+
+
+def test_staged_support_table_covers_registry():
+    assert sorted(STAGED_SUPPORTED) == backend_names()
+
+
+@pytest.fixture(scope="module")
+def staged_references():
+    from repro.stencils.systems import fdtd1d
+
+    spec = fdtd1d()
+    return {
+        steps: reference_sweep(spec, Grid(spec, SHAPE, seed=0), steps)
+        for steps in STEPS_CASES
+    }
+
+
+@pytest.mark.stages
+@pytest.mark.parametrize("steps", STEPS_CASES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+@pytest.mark.parametrize("backend", BACKEND_PARAMS)
+def test_staged_cell(backend, scheme, steps, staged_references):
+    from repro.stencils.systems import fdtd1d
+
+    spec = fdtd1d()
+    config = RunConfig(shape=SHAPE, steps=steps, scheme=scheme, b=B,
+                       backend=backend, threads=2, ranks=2)
+
+    if scheme in STAGED_SUPPORTED[backend]:
+        result = run(spec, config)
+        assert np.array_equal(staged_references[steps], result.interior), (
+            f"staged {backend} x {scheme} (steps={steps}) diverged from "
+            f"the per-stage oracle"
+        )
+    else:
+        with pytest.raises(BackendUnsupported) as excinfo:
+            run(spec, config)
+        err = excinfo.value
+        assert err.backend == backend
+        assert err.reason, "refusal must carry a human-readable reason"
 
 
 def test_refusal_is_a_value_error():

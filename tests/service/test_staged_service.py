@@ -1,0 +1,156 @@
+"""Staged systems through the durable service layer, unchanged.
+
+A staged submission uses the exact same JSON wire format as a plain
+kernel — the name just resolves to a :class:`StagedSpec`.  The two
+guarantees pinned here:
+
+* crash-safety: SIGKILL a supervisor mid-macro-step, restart over the
+  same store, and the staged job resumes from its last sealed
+  checkpoint **bit-identically** to an uninterrupted run (checkpoints
+  carry the whole ``[F, *padded]`` state, so a resume never observes a
+  half-advanced macro-step);
+* idempotency: alias spellings of one system ("gray_scott",
+  "gray-scott", "gs") hash to one identity and dedup onto one job.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro import get_stencil
+from repro.api import RunConfig, Session
+from repro.service import DONE, JobStore, Supervisor, SupervisorConfig
+from repro.service.jobstore import job_identity
+
+pytestmark = [pytest.mark.service, pytest.mark.stages]
+
+# staged fdtd2d: 3 stages/macro-step; sized so the parent's kill lands
+# after checkpoints seal but far from completion
+KERNEL = "fdtd2d"
+CFG = {"shape": [40, 40], "steps": 300, "backend": "serial"}
+CHECKPOINT_STEPS = 2
+
+_CHILD = """\
+import sys
+from repro.service import JobStore, Supervisor, SupervisorConfig
+
+root = sys.argv[1]
+store = JobStore(root)
+sup = Supervisor(store, SupervisorConfig(workers=1, checkpoint_steps={cs}))
+sup.start()
+job, _ = sup.submit({kernel!r}, {cfg!r})
+print(job.job_id, flush=True)
+sup.wait(job.job_id, timeout=600)
+""".format(cs=CHECKPOINT_STEPS, kernel=KERNEL, cfg=CFG)
+
+
+def _spawn(root):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    env["PYTHONPATH"] = os.path.abspath(src)
+    return subprocess.Popen(
+        [sys.executable, "-c", _CHILD, root],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, env=env,
+        text=True)
+
+
+def test_staged_sigkill_resume_bit_identical(tmp_path):
+    root = str(tmp_path / "store")
+    proc = _spawn(root)
+    try:
+        job_id = proc.stdout.readline().strip()
+        assert job_id.startswith("job-"), proc.stderr.read()
+
+        ckdir = os.path.join(root, "checkpoints", job_id)
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if os.path.isdir(ckdir) and any(
+                    n.endswith(".npy") for n in os.listdir(ckdir)):
+                break
+            if proc.poll() is not None:
+                pytest.fail(f"child exited early: {proc.stderr.read()}")
+            time.sleep(0.002)
+        else:
+            pytest.fail("no checkpoint appeared before the deadline")
+        time.sleep(0.1)
+        proc.kill()
+        proc.wait(timeout=30)
+        assert proc.returncode == -signal.SIGKILL
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+        proc.stdout.close()
+        proc.stderr.close()
+
+    with JobStore(root) as store:
+        sup = Supervisor(store, SupervisorConfig(
+            workers=1, checkpoint_steps=50))
+        report = sup.start()
+        assert report.requeued == 1
+        try:
+            job = sup.wait(job_id, timeout=300)
+        finally:
+            sup.stop()
+        assert job.state == DONE
+        assert job.resumed_from_step > 0
+        interior, stats = store.load_result(job_id)
+
+    resumes = [e for e in stats["events"] if e.get("kind") == "resume"]
+    assert len(resumes) == 1
+
+    # bit-identical to a run that was never interrupted — every field
+    direct = Session(get_stencil(KERNEL)).run(RunConfig.from_json(CFG))
+    spec = get_stencil(KERNEL)
+    assert interior.shape == (spec.num_fields,) + tuple(CFG["shape"])
+    assert interior.tobytes() == direct.interior.tobytes()
+
+
+def test_staged_supervisor_run_matches_session(tmp_path):
+    """The uneventful path: a staged job through the supervisor equals
+    a direct Session run, and per-stage timings land in the stats."""
+    cfg = {"shape": [22, 26], "steps": 8, "backend": "compiled",
+           "scheme": "tess", "b": 4}
+    with JobStore(str(tmp_path / "store"), fsync=False) as store:
+        sup = Supervisor(store, SupervisorConfig(workers=1))
+        sup.start()
+        try:
+            job, created = sup.submit("shallow-water", cfg)
+            assert created
+            job = sup.wait(job.job_id, timeout=300)
+        finally:
+            sup.stop()
+        assert job.state == DONE
+        interior, stats = store.load_result(job.job_id)
+
+    direct = Session(get_stencil("shallow_water")).run(
+        RunConfig.from_json(cfg))
+    assert interior.tobytes() == direct.interior.tobytes()
+    assert set(stats["stages"]) == {"h", "u", "v"}
+
+
+def test_alias_spellings_share_one_identity():
+    cfg = {"shape": [20, 20], "steps": 6, "backend": "serial"}
+    digests = {
+        alias: job_identity(alias, cfg)[3]
+        for alias in ("gray_scott", "gray-scott", "gs")
+    }
+    assert len(set(digests.values())) == 1
+    # distinct systems must not collide
+    assert job_identity("shallow_water", cfg)[3] != digests["gs"]
+
+
+def test_alias_spellings_dedup_onto_one_job(tmp_path):
+    cfg = {"shape": [20, 20], "steps": 6, "backend": "serial"}
+    with JobStore(str(tmp_path / "store"), fsync=False) as store:
+        first, created = store.submit("gray_scott", cfg)
+        assert created
+        second, created2 = store.submit("gray-scott", cfg)
+        assert not created2
+        third, created3 = store.submit("gs", cfg)
+        assert not created3
+        assert first.job_id == second.job_id == third.job_id

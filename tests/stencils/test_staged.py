@@ -1,0 +1,247 @@
+"""StagedSpec core: construction legality, composed geometry, the
+degenerate single-stage regression, grids, pickling and timings.
+
+The load-bearing regression here is the degenerate case: a 1-stage,
+1-field staged wrapper of a plain linear kernel must be
+indistinguishable from the plain spec at every observable layer —
+signature, plan cache key, run results, stats — because the pipeline
+canonicalizes it away at the spec boundary instead of forking the
+drive loop on ``if staged:``.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.api import RunConfig, Session
+from repro.engine.cache import plan_key, spec_signature
+from repro.stencils import (
+    Grid,
+    LinearStage,
+    get_stencil,
+    heat1d,
+    make_grid,
+)
+from repro.stencils.staged import (
+    canonical_spec,
+    make_staged,
+    split_linear_spec,
+)
+from repro.stencils.systems import fdtd1d, fdtd2d, gray_scott, shallow_water
+
+pytestmark = pytest.mark.stages
+
+
+def _stage(name, writes, taps):
+    return LinearStage(name, writes, taps)
+
+
+# ---------------------------------------------------------------------------
+# construction legality
+# ---------------------------------------------------------------------------
+
+def test_empty_stages_rejected():
+    with pytest.raises(ValueError, match="at least one stage"):
+        make_staged("empty", ())
+
+
+def test_mixed_ranks_rejected():
+    s1 = _stage("a", "u", [("u", (0,), 1.0, False)])
+    s2 = _stage("b", "v", [("v", (0, 0), 1.0, False)])
+    with pytest.raises(ValueError, match="share one spatial rank"):
+        make_staged("mixed", (s1, s2))
+
+
+def test_duplicate_writes_rejected():
+    s1 = _stage("a", "u", [("u", (0,), 1.0, False)])
+    s2 = _stage("b", "u", [("u", (0,), 2.0, False)])
+    with pytest.raises(ValueError, match="more than one stage"):
+        make_staged("dup", (s1, s2))
+
+
+def test_unknown_read_field_rejected():
+    s1 = _stage("a", "u", [("ghost", (0,), 1.0, False)])
+    with pytest.raises(ValueError, match="unknown field"):
+        make_staged("unknown", (s1,))
+
+
+def test_new_read_must_name_earlier_stage():
+    # "a" new-reads "v", but "v" is written by the *later* stage — the
+    # tuple is not in dependence order and must be refused, not
+    # silently read stale values.
+    s1 = _stage("a", "u", [("v", (0,), 1.0, True)])
+    s2 = _stage("b", "v", [("u", (0,), 1.0, False)])
+    with pytest.raises(ValueError, match="dependence order"):
+        make_staged("disorder", (s1, s2))
+
+
+def test_split_point_validation():
+    spec = heat1d()
+    with pytest.raises(ValueError):
+        split_linear_spec(spec, 0)
+    with pytest.raises(ValueError):
+        split_linear_spec(spec, len(spec.operator.offsets))
+    gol = get_stencil("life")
+    with pytest.raises(TypeError):
+        split_linear_spec(gol, 1)
+
+
+# ---------------------------------------------------------------------------
+# composed geometry: grown regions and macro-step slopes
+# ---------------------------------------------------------------------------
+
+def test_grow_and_slopes_fdtd1d():
+    spec = fdtd1d()
+    assert spec.operator.grow == ((1,), (0,))
+    assert spec.slopes == (2,)
+
+
+def test_grow_and_slopes_fdtd2d():
+    spec = fdtd2d()
+    assert spec.operator.grow == ((1, 1), (0, 0), (0, 0))
+    assert spec.slopes == (2, 2)
+
+
+def test_grow_and_slopes_shallow_water():
+    spec = shallow_water()
+    assert spec.operator.grow == ((1, 0), (0, 1), (0, 0))
+    assert spec.slopes == (2, 2)
+
+
+def test_grow_and_slopes_gray_scott():
+    # No new-reads at all: grow is zero and the composed slope is just
+    # the widest old-read reach (the 5-point laplacian).
+    spec = gray_scott()
+    assert spec.operator.grow == ((0, 0), (0, 0))
+    assert spec.slopes == (1, 1)
+
+
+def test_grow_chain_accumulates():
+    # c new-reads b at reach 1, b new-reads a at reach 2: a must be
+    # grown by 3, not max(1, 2) — the recursion composes reaches.
+    a = _stage("a", "x", [("x", (0,), 1.0, False)])
+    b = _stage("b", "y", [("x", (-2,), 1.0, True), ("x", (2,), 1.0, True)])
+    c = _stage("c", "z", [("y", (1,), 1.0, True)])
+    spec = make_staged("chain", (a, b, c))
+    assert spec.operator.grow == ((3,), (1,), (0,))
+
+
+# ---------------------------------------------------------------------------
+# the degenerate case: 1-stage wrapper == plain spec, everywhere
+# ---------------------------------------------------------------------------
+
+def _wrapped_heat1d():
+    plain = heat1d()
+    op = plain.operator
+    taps = [("u", off, c, False) for off, c in zip(op.offsets, op.coeffs)]
+    return plain, make_staged("heat1d", (LinearStage("only", "u", taps),))
+
+
+def test_degenerate_unwraps_to_plain_spec():
+    plain, wrapped = _wrapped_heat1d()
+    unwrapped = canonical_spec(wrapped)
+    assert not unwrapped.is_staged
+    assert unwrapped.operator.offsets == plain.operator.offsets
+    assert unwrapped.operator.coeffs == plain.operator.coeffs
+    # non-trivial specs pass through untouched
+    assert canonical_spec(fdtd1d()) is not None
+    assert canonical_spec(fdtd1d()).is_staged
+
+
+def test_degenerate_signature_and_plan_key_match():
+    plain, wrapped = _wrapped_heat1d()
+    assert spec_signature(wrapped) == spec_signature(plain)
+
+    from repro.core import make_lattice
+    from repro.core.schedules import tess_schedule
+
+    shape, steps, b = (50,), 6, 4
+    lat = make_lattice(plain, shape, b)
+    sched = tess_schedule(plain, shape, lat, steps)
+    assert plan_key(wrapped, sched) == plan_key(plain, sched)
+
+
+def test_degenerate_run_identical_and_no_stage_stats():
+    plain, wrapped = _wrapped_heat1d()
+    config = RunConfig(shape=(50,), steps=6, scheme="tess", b=4,
+                       backend="compiled")
+    r_plain = Session(plain).run(config)
+    sess = Session(wrapped)
+    # the session itself holds the canonical (plain) spec
+    assert not sess.spec.is_staged
+    r_wrapped = sess.run(config)
+    assert np.array_equal(r_plain.interior, r_wrapped.interior)
+    assert r_wrapped.stats.stages == {}
+
+
+# ---------------------------------------------------------------------------
+# grids over the field axis
+# ---------------------------------------------------------------------------
+
+def test_staged_grid_shapes_and_independent_fields():
+    spec = shallow_water()
+    shape = (12, 14)
+    arr = make_grid(spec, shape, init="random", seed=3)
+    assert arr.shape == spec.padded_shape(shape)
+    assert arr.shape[0] == spec.num_fields
+    interior = arr[spec.interior_slices(shape)]
+    assert interior.shape == (spec.num_fields,) + shape
+    # every field gets its own random values
+    for i in range(spec.num_fields):
+        for j in range(i + 1, spec.num_fields):
+            assert not np.array_equal(interior[i], interior[j])
+    # halo stays zero on every field
+    interior[...] = 0.0
+    assert not arr.any()
+
+
+def test_staged_grid_impulse_hits_every_field():
+    spec = fdtd1d()
+    arr = make_grid(spec, (11,), init="impulse")
+    interior = arr[spec.interior_slices((11,))]
+    assert np.array_equal(interior[:, 5], np.ones(spec.num_fields))
+    assert interior.sum() == spec.num_fields
+
+
+# ---------------------------------------------------------------------------
+# pickling (the plan cache's disk tier round-trips specs' plans; the
+# service layer ships specs to worker processes)
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("factory", [fdtd1d, fdtd2d, shallow_water,
+                                     gray_scott])
+def test_staged_spec_pickles(factory):
+    spec = factory()
+    clone = pickle.loads(pickle.dumps(spec))
+    assert spec_signature(clone) == spec_signature(spec)
+    g1 = Grid(spec, (10,) * spec.ndim, seed=1)
+    g2 = Grid(clone, (10,) * spec.ndim, seed=1)
+    from repro.stencils import reference_sweep
+    assert np.array_equal(reference_sweep(spec, g1, 3),
+                          reference_sweep(clone, g2, 3))
+
+
+# ---------------------------------------------------------------------------
+# per-stage timings
+# ---------------------------------------------------------------------------
+
+def test_stage_timings_in_stats():
+    spec = fdtd2d()
+    result = Session(spec).run(RunConfig(shape=(24, 24), steps=4,
+                                         scheme="tess", b=2,
+                                         backend="compiled"))
+    assert set(result.stats.stages) == set(spec.fields)
+    assert all(v >= 0.0 for v in result.stats.stages.values())
+    # and they survive the JSON round trip
+    from repro.api.stats import RunStats
+    blob = result.stats.to_json()
+    back = RunStats.from_json(blob)
+    assert back.stages == pytest.approx(result.stats.stages)
+
+
+def test_plain_run_has_no_stage_stats():
+    result = Session(heat1d()).run(RunConfig(shape=(40,), steps=4,
+                                             scheme="tess", b=4,
+                                             backend="compiled"))
+    assert result.stats.stages == {}
